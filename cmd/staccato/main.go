@@ -1,0 +1,202 @@
+// Command staccato demonstrates the full Staccato pipeline end-to-end:
+// generate a synthetic OCR transducer, build approximated documents at a
+// chosen dial setting, persist them through a DocStore, and run
+// probabilistic queries — showing recall beyond the MAP string, the
+// paper's headline result.
+//
+// Usage:
+//
+//	staccato [-seed N] [-len N] [-chunks N] [-k N] [-term STRING] [-v]
+//
+// With no -term, the demo searches for a ground-truth substring that the
+// MAP string lost and reports the probability Staccato recovers for it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+type config struct {
+	seed    int64
+	length  int
+	chunks  int
+	k       int
+	term    string
+	termLen int
+	verbose bool
+}
+
+// report captures the demo's outcome for both printing and testing.
+type report struct {
+	truth     string
+	mapString string
+	term      string
+	probMAP   float64
+	probStac  float64
+	probExact float64
+}
+
+func main() {
+	cfg := config{}
+	flag.Int64Var(&cfg.seed, "seed", 42, "PRNG seed for the synthetic document")
+	flag.IntVar(&cfg.length, "len", 200, "ground truth length in characters")
+	flag.IntVar(&cfg.chunks, "chunks", 10, "number of chunks (the Staccato dial's first knob)")
+	flag.IntVar(&cfg.k, "k", 4, "paths kept per chunk (the dial's second knob)")
+	flag.StringVar(&cfg.term, "term", "", "query term (default: search for a term MAP lost)")
+	flag.IntVar(&cfg.termLen, "termlen", 4, "length of auto-searched terms")
+	flag.BoolVar(&cfg.verbose, "v", false, "print the full truth and MAP strings")
+	flag.Parse()
+
+	if _, err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "staccato:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg config) (report, error) {
+	var rep report
+	ctx := context.Background()
+
+	// Ingest: synthesize the OCR transducer.
+	truth, f, err := testgen.Generate(testgen.Config{Length: cfg.length, Seed: cfg.seed})
+	if err != nil {
+		return rep, err
+	}
+	rep.truth = truth
+	vit := f.Viterbi()
+	rep.mapString = vit.Output
+
+	fmt.Fprintf(w, "ingested SFST: %d states, %d arcs, ~%.3g distinct readings\n",
+		f.NumStates(), f.NumArcs(), f.NumPaths())
+	fmt.Fprintf(w, "MAP string prob: %.3g, edit distance to truth: %d of %d chars\n",
+		vit.Prob, editDistance(truth, vit.Output), len(truth))
+
+	// Approximate: one doc at the requested dial, one at the MAP extreme.
+	doc, err := staccato.Build(f, "doc-0001", cfg.chunks, cfg.k)
+	if err != nil {
+		return rep, err
+	}
+	mapDoc, err := staccato.Build(f, "doc-0001.map", staccato.MaxChunks, 1)
+	if err != nil {
+		return rep, err
+	}
+
+	// Persist and read back through the DocStore, so the demo exercises
+	// the same path a real backend will.
+	st := store.NewMemStore()
+	if err := st.Put(ctx, doc); err != nil {
+		return rep, err
+	}
+	if err := st.Put(ctx, mapDoc); err != nil {
+		return rep, err
+	}
+	if doc, err = st.Get(ctx, "doc-0001"); err != nil {
+		return rep, err
+	}
+	if mapDoc, err = st.Get(ctx, "doc-0001.map"); err != nil {
+		return rep, err
+	}
+	fmt.Fprintf(w, "staccato doc: chunks=%d k=%d, retained mass per chunk min=%.3f\n",
+		doc.Params.Chunks, doc.Params.K, minRetained(doc))
+
+	// Query: either the user's term, or hunt for ground truth that the
+	// MAP string lost but Staccato still finds.
+	term := cfg.term
+	if term == "" {
+		for n := cfg.termLen; n >= 2 && term == ""; n-- {
+			term = findLostTerm(truth, rep.mapString, doc, n)
+		}
+		if term == "" {
+			return rep, fmt.Errorf("no ground-truth n-gram was lost by MAP yet recovered by Staccato; try another seed or a higher -k")
+		}
+	}
+	rep.term = term
+
+	// probMAP comes from querying the stored MAP-extreme doc: a degenerate
+	// distribution, so the probability is exactly 0 or 1.
+	if rep.probMAP, err = query.SubstringProb(mapDoc, term); err != nil {
+		return rep, err
+	}
+	if rep.probStac, err = query.SubstringProb(doc, term); err != nil {
+		return rep, err
+	}
+	if rep.probExact, err = query.FSTSubstringProb(f, term); err != nil {
+		return rep, err
+	}
+
+	if cfg.verbose {
+		fmt.Fprintf(w, "truth: %s\n", truth)
+		fmt.Fprintf(w, "MAP:   %s\n", rep.mapString)
+	}
+	fmt.Fprintf(w, "query %q (in truth: %v)\n", term, strings.Contains(truth, term))
+	fmt.Fprintf(w, "  P[match | MAP string]   = %.4f\n", rep.probMAP)
+	fmt.Fprintf(w, "  P[match | staccato doc] = %.4f\n", rep.probStac)
+	fmt.Fprintf(w, "  P[match | full SFST]    = %.4f\n", rep.probExact)
+	if rep.probMAP == 0 && rep.probStac > 0 {
+		fmt.Fprintf(w, "staccato recovered a reading the MAP string lost\n")
+	}
+	return rep, nil
+}
+
+// findLostTerm scans the ground-truth n-grams absent from the MAP string
+// and returns the one Staccato assigns the highest probability, or "" if
+// none has positive probability.
+func findLostTerm(truth, mapStr string, doc *staccato.Doc, n int) string {
+	seen := map[string]bool{}
+	best, bestProb := "", 0.0
+	for i := 0; i+n <= len(truth); i++ {
+		t := truth[i : i+n]
+		if seen[t] || strings.Contains(mapStr, t) {
+			continue
+		}
+		seen[t] = true
+		p, err := query.SubstringProb(doc, t)
+		if err == nil && p > bestProb {
+			best, bestProb = t, p
+		}
+	}
+	return best
+}
+
+// editDistance is plain Levenshtein distance; positional comparison would
+// wildly overstate MAP divergence whenever a deletion or split shifts the
+// rest of the string.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func minRetained(d *staccato.Doc) float64 {
+	min := 1.0
+	for _, c := range d.Chunks {
+		if c.Retained < min {
+			min = c.Retained
+		}
+	}
+	return min
+}

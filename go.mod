@@ -1,0 +1,3 @@
+module github.com/paper-repo/staccato-go
+
+go 1.24

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightProbRoundTrip(t *testing.T) {
+	for _, p := range []float64{1, 0.5, 0.01, 1e-30} {
+		if got := ProbFromWeight(WeightFromProb(p)); math.Abs(got-p) > 1e-12*p {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+	if !math.IsInf(WeightFromProb(0), 1) {
+		t.Errorf("WeightFromProb(0) = %v, want +Inf", WeightFromProb(0))
+	}
+	if got := ProbFromWeight(InfWeight); got != 0 {
+		t.Errorf("ProbFromWeight(+Inf) = %v, want 0", got)
+	}
+}
+
+func TestLogAddWeights(t *testing.T) {
+	// -ln(0.3) ⊕ -ln(0.2) should be -ln(0.5).
+	got := LogAddWeights(WeightFromProb(0.3), WeightFromProb(0.2))
+	want := WeightFromProb(0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogAddWeights = %v, want %v", got, want)
+	}
+	// Symmetric.
+	if a, b := LogAddWeights(1, 7), LogAddWeights(7, 1); math.Abs(a-b) > 1e-12 {
+		t.Errorf("not symmetric: %v vs %v", a, b)
+	}
+	// Identity with the impossible event.
+	if got := LogAddWeights(InfWeight, 2.5); got != 2.5 {
+		t.Errorf("LogAddWeights(Inf, 2.5) = %v", got)
+	}
+	if got := LogAddWeights(2.5, InfWeight); got != 2.5 {
+		t.Errorf("LogAddWeights(2.5, Inf) = %v", got)
+	}
+	// Stable for large weights: -ln(2e-200) without underflow.
+	w := WeightFromProb(1e-200)
+	if got, want := LogAddWeights(w, w), w-math.Log(2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("large-weight sum = %v, want %v", got, want)
+	}
+}
+
+func TestIsWordRune(t *testing.T) {
+	for _, r := range "abzA9é" {
+		if !IsWordRune(r) {
+			t.Errorf("IsWordRune(%q) = false", r)
+		}
+	}
+	for _, r := range " .,-\t'" {
+		if IsWordRune(r) {
+			t.Errorf("IsWordRune(%q) = true", r)
+		}
+	}
+}

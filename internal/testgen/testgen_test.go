@@ -1,0 +1,95 @@
+package testgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/pkg/fst"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Length: 50, Seed: 11}
+	t1, f1 := MustGenerate(cfg)
+	t2, f2 := MustGenerate(cfg)
+	if t1 != t2 {
+		t.Error("same seed produced different truth strings")
+	}
+	if f1.NumStates() != f2.NumStates() || f1.NumArcs() != f2.NumArcs() {
+		t.Error("same seed produced structurally different SFSTs")
+	}
+	if f1.Viterbi() != f2.Viterbi() {
+		t.Error("same seed produced different MAP decodings")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	t1, _ := MustGenerate(Config{Length: 50, Seed: 1})
+	t2, _ := MustGenerate(Config{Length: 50, Seed: 2})
+	if t1 == t2 {
+		t.Error("different seeds produced identical truth strings")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	truth, f := MustGenerate(Config{Length: 80, Seed: 5})
+	if len(truth) != 80 {
+		t.Errorf("truth length = %d, want 80", len(truth))
+	}
+	if strings.Contains(truth, "  ") || strings.HasPrefix(truth, " ") || strings.HasSuffix(truth, " ") {
+		t.Errorf("truth has malformed spacing: %q", truth)
+	}
+	// One state per position plus start, plus extra states for splits.
+	if f.NumStates() < 81 {
+		t.Errorf("NumStates = %d, want >= 81", f.NumStates())
+	}
+	// Position-level probabilities must sum to 1: total path mass is 1.
+	var mass func() float64 = func() float64 {
+		m := make([]float64, f.NumStates())
+		m[0] = 1
+		var total float64
+		for s := 0; s < f.NumStates(); s++ {
+			if f.IsFinal(fst.StateID(s)) {
+				total += m[s]
+			}
+			for _, a := range f.Arcs(fst.StateID(s)) {
+				m[a.To] += m[s] * math.Exp(-a.Weight)
+			}
+		}
+		return total
+	}
+	if got := mass(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("total path mass = %v, want 1 (per-position distributions must normalize)", got)
+	}
+}
+
+func TestGenerateHardPositionsDivergeMAP(t *testing.T) {
+	// With the default hard rate, a 200-char document must have positions
+	// where Viterbi disagrees with the truth — the recall gap the rest of
+	// the system exists to measure.
+	truth, f := MustGenerate(Config{Length: 200, Seed: 42})
+	mapStr := f.Viterbi().Output
+	if truth == mapStr {
+		t.Error("MAP string equals truth; generator produced no hard positions")
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	cases, err := Corpus(4, Config{Length: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 4 {
+		t.Fatalf("len = %d", len(cases))
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if c.FST == nil || len(c.Truth) != 30 {
+			t.Fatalf("malformed case %+v", c)
+		}
+		seen[c.Truth] = true
+	}
+	if len(seen) != 4 {
+		t.Error("corpus cases are not distinct")
+	}
+}

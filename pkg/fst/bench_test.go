@@ -1,0 +1,28 @@
+package fst_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+)
+
+// BenchmarkViterbi measures MAP decoding of a 1000-character OCR
+// transducer — the hot path of plain (non-probabilistic) ingestion.
+func BenchmarkViterbi(b *testing.B) {
+	_, f := testgen.MustGenerate(testgen.Config{Length: 1000, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Viterbi()
+	}
+}
+
+// BenchmarkBuild measures transducer construction (validation, pruning,
+// topological renumbering) for a 1000-character document.
+func BenchmarkBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, f := testgen.MustGenerate(testgen.Config{Length: 1000, Seed: 1})
+		_ = f
+	}
+}

@@ -1,0 +1,211 @@
+package fst
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/core"
+)
+
+// buildThreeState builds the canonical hand-checkable transducer:
+//
+//	s0 --a(0.6)/b(0.4)--> s1 --x(0.9)/y(0.1)--> s2
+//
+// MAP path is "ax" with probability 0.54.
+func buildThreeState(t *testing.T) *SFST {
+	t.Helper()
+	b := NewBuilder()
+	s0, s1, s2 := b.AddState(), b.AddState(), b.AddState()
+	b.AddArc(s0, s1, 'a', core.WeightFromProb(0.6))
+	b.AddArc(s0, s1, 'b', core.WeightFromProb(0.4))
+	b.AddArc(s1, s2, 'x', core.WeightFromProb(0.9))
+	b.AddArc(s1, s2, 'y', core.WeightFromProb(0.1))
+	b.SetStart(s0)
+	b.SetFinal(s2)
+	f, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return f
+}
+
+func TestViterbiThreeState(t *testing.T) {
+	f := buildThreeState(t)
+	got := f.Viterbi()
+	if got.Output != "ax" {
+		t.Errorf("MAP output = %q, want %q", got.Output, "ax")
+	}
+	if math.Abs(got.Prob-0.54) > 1e-12 {
+		t.Errorf("MAP prob = %v, want 0.54", got.Prob)
+	}
+	if np := f.NumPaths(); np != 4 {
+		t.Errorf("NumPaths = %v, want 4", np)
+	}
+}
+
+func TestViterbiEpsilon(t *testing.T) {
+	// s0 --a(0.6)/ε(0.4)--> s1 --b(1.0)--> s2: MAP is "ab"; the epsilon
+	// path emits just "b".
+	b := NewBuilder()
+	s0, s1, s2 := b.AddState(), b.AddState(), b.AddState()
+	b.AddArc(s0, s1, 'a', core.WeightFromProb(0.6))
+	b.AddArc(s0, s1, Epsilon, core.WeightFromProb(0.4))
+	b.AddArc(s1, s2, 'b', core.WeightFromProb(1))
+	b.SetStart(s0)
+	b.SetFinal(s2)
+	f, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := f.Viterbi(); got.Output != "ab" || math.Abs(got.Prob-0.6) > 1e-12 {
+		t.Errorf("Viterbi = %+v, want output ab prob 0.6", got)
+	}
+}
+
+func TestViterbiPrefersShorterBranch(t *testing.T) {
+	// Parallel branches of different lengths: direct 'm' (0.4) vs
+	// two-arc "rn" (0.6 * 1.0). MAP must be "rn".
+	b := NewBuilder()
+	s0, s1, mid := b.AddState(), b.AddState(), b.AddState()
+	b.AddArc(s0, s1, 'm', core.WeightFromProb(0.4))
+	b.AddArc(s0, mid, 'r', core.WeightFromProb(0.6))
+	b.AddArc(mid, s1, 'n', core.WeightFromProb(1))
+	b.SetStart(s0)
+	b.SetFinal(s1)
+	f, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := f.Viterbi(); got.Output != "rn" || math.Abs(got.Prob-0.6) > 1e-12 {
+		t.Errorf("Viterbi = %+v, want output rn prob 0.6", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	t.Run("no start", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.AddState()
+		b.SetFinal(s)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for missing start state")
+		}
+	})
+	t.Run("no final", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.AddState()
+		b.SetStart(s)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for missing final state")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		b := NewBuilder()
+		s0, s1 := b.AddState(), b.AddState()
+		b.AddArc(s0, s1, 'a', 1)
+		b.AddArc(s1, s0, 'b', 1)
+		b.SetStart(s0)
+		b.SetFinal(s1)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for cyclic transducer")
+		}
+	})
+	t.Run("no accepting path", func(t *testing.T) {
+		b := NewBuilder()
+		s0, s1, s2 := b.AddState(), b.AddState(), b.AddState()
+		b.AddArc(s0, s1, 'a', 1)
+		_ = s2
+		b.SetStart(s0)
+		b.SetFinal(s2) // unreachable final
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for unreachable final state")
+		}
+	})
+	t.Run("bad weight", func(t *testing.T) {
+		b := NewBuilder()
+		s0, s1 := b.AddState(), b.AddState()
+		b.AddArc(s0, s1, 'a', -0.5)
+		b.SetStart(s0)
+		b.SetFinal(s1)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for negative weight")
+		}
+	})
+	t.Run("invalid state", func(t *testing.T) {
+		b := NewBuilder()
+		s0 := b.AddState()
+		b.AddArc(s0, StateID(99), 'a', 1)
+		b.SetStart(s0)
+		b.SetFinal(s0)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for arc to unknown state")
+		}
+	})
+}
+
+func TestBuildPrunesUselessStates(t *testing.T) {
+	b := NewBuilder()
+	s0, s1 := b.AddState(), b.AddState()
+	dead := b.AddState() // reachable, but cannot reach a final
+	b.AddArc(s0, s1, 'a', core.WeightFromProb(0.5))
+	b.AddArc(s0, dead, 'x', core.WeightFromProb(0.5))
+	b.SetStart(s0)
+	b.SetFinal(s1)
+	f, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if f.NumStates() != 2 {
+		t.Errorf("NumStates = %d, want 2 (dead state pruned)", f.NumStates())
+	}
+	if f.NumArcs() != 1 {
+		t.Errorf("NumArcs = %d, want 1", f.NumArcs())
+	}
+}
+
+func TestBuildTopologicalNormalization(t *testing.T) {
+	// Build states in a scrambled order; after Build every arc must go
+	// from a lower to a strictly higher state ID and start must be 0.
+	b := NewBuilder()
+	s2 := b.AddState()
+	s0 := b.AddState()
+	s1 := b.AddState()
+	b.AddArc(s0, s1, 'a', core.WeightFromProb(0.5))
+	b.AddArc(s1, s2, 'b', core.WeightFromProb(0.5))
+	b.SetStart(s0)
+	b.SetFinal(s2)
+	f, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if f.Start() != 0 {
+		t.Errorf("Start = %d, want 0", f.Start())
+	}
+	for s := 0; s < f.NumStates(); s++ {
+		for _, a := range f.Arcs(StateID(s)) {
+			if int(a.To) <= s {
+				t.Errorf("arc %d→%d violates topological order", s, a.To)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	mk := func() *SFST {
+		b := NewBuilder()
+		s0, s1, s2 := b.AddState(), b.AddState(), b.AddState()
+		b.AddArc(s0, s1, 'b', core.WeightFromProb(0.4))
+		b.AddArc(s0, s1, 'a', core.WeightFromProb(0.6))
+		b.AddArc(s1, s2, 'x', core.WeightFromProb(1))
+		b.SetStart(s0)
+		b.SetFinal(s2)
+		f, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return f
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Error("two identical build sequences produced different SFSTs")
+	}
+}

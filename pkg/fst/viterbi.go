@@ -1,0 +1,67 @@
+package fst
+
+import (
+	"math"
+
+	"github.com/paper-repo/staccato-go/internal/core"
+)
+
+// PathResult is a single decoded path through an SFST: the emitted string
+// (epsilon labels elided), its total negative-log weight, and the
+// corresponding probability.
+type PathResult struct {
+	Output string
+	Weight float64
+	Prob   float64
+}
+
+// Viterbi returns the maximum-a-posteriori path — the single most likely
+// reading of the document region, which is what a conventional OCR
+// pipeline would store as "the" text. Because Build guarantees states are
+// topologically ordered and every state is on an accepting path, this is
+// one forward sweep over the arcs.
+func (f *SFST) Viterbi() PathResult {
+	n := f.NumStates()
+	dist := make([]float64, n)
+	prev := make([]StateID, n)
+	label := make([]rune, n)
+	for s := 1; s < n; s++ {
+		dist[s] = math.Inf(1)
+	}
+	for i := range prev {
+		prev[i] = NoState
+	}
+	for s := 0; s < n; s++ {
+		if math.IsInf(dist[s], 1) {
+			continue
+		}
+		for _, a := range f.arcs[s] {
+			if w := dist[s] + a.Weight; w < dist[a.To] {
+				dist[a.To] = w
+				prev[a.To] = StateID(s)
+				label[a.To] = a.Label
+			}
+		}
+	}
+
+	best := NoState
+	bestW := math.Inf(1)
+	for s := 0; s < n; s++ {
+		if f.finals[s] && dist[s] < bestW {
+			best = StateID(s)
+			bestW = dist[s]
+		}
+	}
+
+	var rev []rune
+	for s := best; s != 0; s = prev[s] {
+		if label[s] != Epsilon {
+			rev = append(rev, label[s])
+		}
+	}
+	return PathResult{
+		Output: core.StringFromReversed(rev),
+		Weight: bestW,
+		Prob:   core.ProbFromWeight(bestW),
+	}
+}

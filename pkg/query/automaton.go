@@ -1,0 +1,122 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/paper-repo/staccato-go/internal/core"
+)
+
+// automaton is a deterministic matcher compiled from a query term. step
+// consumes one rune and reports whether the term just finished matching
+// (matching is absorbing, so callers stop on the first hit). acceptAtEnd
+// reports states that count as a match when the document ends — needed for
+// keyword queries, whose trailing boundary can be the end of text.
+type automaton interface {
+	numStates() int
+	start() int
+	step(q int, r rune) (next int, matched bool)
+	acceptAtEnd(q int) bool
+}
+
+func compile(term string, mode Mode) (automaton, error) {
+	pat := []rune(term)
+	if len(pat) == 0 {
+		return nil, fmt.Errorf("query: empty term")
+	}
+	switch mode {
+	case ModeSubstring:
+		return newKMP(pat), nil
+	case ModeKeyword:
+		for _, r := range pat {
+			if !core.IsWordRune(r) {
+				return nil, fmt.Errorf("query: keyword term %q contains non-word character %q", term, r)
+			}
+		}
+		return newKeyword(pat), nil
+	default:
+		return nil, fmt.Errorf("query: unknown mode %d", mode)
+	}
+}
+
+// kmpAuto is the classic Knuth–Morris–Pratt automaton: state q means "the
+// last q runes seen equal the first q runes of the pattern". Reaching
+// len(pat) is a match.
+type kmpAuto struct {
+	pat  []rune
+	fail []int
+}
+
+func newKMP(pat []rune) *kmpAuto {
+	fail := make([]int, len(pat))
+	for i := 1; i < len(pat); i++ {
+		j := fail[i-1]
+		for j > 0 && pat[i] != pat[j] {
+			j = fail[j-1]
+		}
+		if pat[i] == pat[j] {
+			j++
+		}
+		fail[i] = j
+	}
+	return &kmpAuto{pat: pat, fail: fail}
+}
+
+func (a *kmpAuto) numStates() int { return len(a.pat) }
+func (a *kmpAuto) start() int     { return 0 }
+
+func (a *kmpAuto) step(q int, r rune) (int, bool) {
+	for q > 0 && r != a.pat[q] {
+		q = a.fail[q-1]
+	}
+	if r == a.pat[q] {
+		q++
+	}
+	if q == len(a.pat) {
+		return 0, true
+	}
+	return q, false
+}
+
+func (a *kmpAuto) acceptAtEnd(int) bool { return false }
+
+// keywordAuto matches a term delimited by non-word characters (token
+// boundaries). Because the term itself is all word runes, a failed partial
+// match can never overlap a valid restart — a restart position must follow
+// a non-word rune — so no failure function is needed. States:
+//
+//	0            dead: previous rune was a word rune, cannot start a match
+//	1            ready: at a boundary, a match may start
+//	1+j (j=1..m) matched the first j runes of the term
+//
+// State 1+m ("whole term seen") matches when the next rune is a non-word
+// rune or the document ends.
+type keywordAuto struct {
+	pat []rune
+}
+
+func newKeyword(pat []rune) *keywordAuto { return &keywordAuto{pat: pat} }
+
+func (a *keywordAuto) numStates() int { return len(a.pat) + 2 }
+func (a *keywordAuto) start() int     { return 1 }
+
+func (a *keywordAuto) step(q int, r rune) (int, bool) {
+	m := len(a.pat)
+	if q == m+1 { // full term seen, awaiting right boundary
+		if !core.IsWordRune(r) {
+			return q, true
+		}
+		return 0, false
+	}
+	if q >= 1 {
+		j := q - 1 // runes of the term matched so far
+		if r == a.pat[j] {
+			return q + 1, false
+		}
+	}
+	if !core.IsWordRune(r) {
+		return 1, false
+	}
+	return 0, false
+}
+
+func (a *keywordAuto) acceptAtEnd(q int) bool { return q == len(a.pat)+1 }

@@ -1,0 +1,187 @@
+// Package query answers probabilistic text queries over Staccato
+// documents. Instead of matching against one string, a query computes the
+// probability that the document's true text contains the term, summing
+// over the readings the Doc retains — including readings whose match spans
+// a chunk boundary.
+//
+// Evaluation is dynamic programming across the chunk path sets: the query
+// term is compiled to a small deterministic automaton, and a probability
+// distribution over automaton states is pushed through the chunks in one
+// left-to-right pass. The cost is O(chunks × k × |alt| × states), linear
+// in the document regardless of how many full readings (k^chunks) the Doc
+// encodes.
+//
+// For ground truth, FSTSubstringProb evaluates the same query exactly on
+// the unapproximated SFST by running the automaton over the transducer's
+// state graph — the "FullSFST" baseline of the paper, and the upper bound
+// the Staccato dial converges to as chunks decrease and k grows.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo/staccato-go/internal/core"
+	"github.com/paper-repo/staccato-go/pkg/fst"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// Mode selects how a term must occur in the document text.
+type Mode int
+
+const (
+	// ModeSubstring matches the term anywhere in the text.
+	ModeSubstring Mode = iota
+	// ModeKeyword matches the term as a whole token: the occurrence must
+	// be delimited by non-word characters (or the document edges). Terms
+	// must consist of word characters only.
+	ModeKeyword
+)
+
+// Match is one query result: the probability that the document contains
+// the term under the Doc's retained distribution.
+type Match struct {
+	Term string
+	Prob float64
+}
+
+// Eval evaluates each term against the document and returns matches sorted
+// by descending probability (ties broken by term).
+func Eval(d *staccato.Doc, terms []string, mode Mode) ([]Match, error) {
+	out := make([]Match, 0, len(terms))
+	for _, t := range terms {
+		a, err := compile(t, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Match{Term: t, Prob: evalDoc(d, a)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out, nil
+}
+
+// SubstringProb returns the probability that the document text contains
+// term as a substring.
+func SubstringProb(d *staccato.Doc, term string) (float64, error) {
+	a, err := compile(term, ModeSubstring)
+	if err != nil {
+		return 0, err
+	}
+	return evalDoc(d, a), nil
+}
+
+// KeywordProb returns the probability that the document text contains term
+// as a whole token.
+func KeywordProb(d *staccato.Doc, term string) (float64, error) {
+	a, err := compile(term, ModeKeyword)
+	if err != nil {
+		return 0, err
+	}
+	return evalDoc(d, a), nil
+}
+
+// evalDoc pushes a distribution over automaton states through the chunks.
+// Mass that reaches the accepting condition is absorbed into matched; the
+// remainder carries partial-match state across chunk boundaries, which is
+// how matches spanning two chunks are credited.
+func evalDoc(d *staccato.Doc, a automaton) float64 {
+	vec := make([]float64, a.numStates())
+	vec[a.start()] = 1
+	matched := 0.0
+	for _, ch := range d.Chunks {
+		next := make([]float64, len(vec))
+		for q, p := range vec {
+			if p == 0 {
+				continue
+			}
+			for _, alt := range ch.Alts {
+				q2, hit := runString(a, q, alt.Text)
+				if hit {
+					matched += p * alt.Prob
+				} else {
+					next[q2] += p * alt.Prob
+				}
+			}
+		}
+		vec = next
+	}
+	for q, p := range vec {
+		if p > 0 && a.acceptAtEnd(q) {
+			matched += p
+		}
+	}
+	return matched
+}
+
+// runString advances the automaton over s from state q, reporting a match
+// as soon as one completes (matching is absorbing for "contains" queries).
+func runString(a automaton, q int, s string) (int, bool) {
+	for _, r := range s {
+		var hit bool
+		q, hit = a.step(q, r)
+		if hit {
+			return q, true
+		}
+	}
+	return q, false
+}
+
+// FSTSubstringProb computes the exact probability that the string emitted
+// by the transducer contains term, without materializing any paths: the
+// matching automaton runs directly over the SFST's state graph, with a
+// probability vector over (fst state × automaton state). Polynomial in the
+// transducer size even when the path count is astronomical.
+func FSTSubstringProb(f *fst.SFST, term string) (float64, error) {
+	a, err := compile(term, ModeSubstring)
+	if err != nil {
+		return 0, err
+	}
+	n := f.NumStates()
+	m := a.numStates()
+	mass := make([][]float64, n)
+	for i := range mass {
+		mass[i] = make([]float64, m)
+	}
+	hitMass := make([]float64, n)
+	mass[0][a.start()] = 1
+
+	var matchedTotal, total float64
+	for s := 0; s < n; s++ {
+		if f.IsFinal(fst.StateID(s)) {
+			matchedTotal += hitMass[s]
+			total += hitMass[s]
+			for _, p := range mass[s] {
+				total += p
+			}
+		}
+		for _, arc := range f.Arcs(fst.StateID(s)) {
+			p := core.ProbFromWeight(arc.Weight)
+			to := arc.To
+			hitMass[to] += hitMass[s] * p
+			for q, pq := range mass[s] {
+				if pq == 0 {
+					continue
+				}
+				if arc.Label == fst.Epsilon {
+					mass[to][q] += pq * p
+					continue
+				}
+				q2, hit := a.step(q, arc.Label)
+				if hit {
+					hitMass[to] += pq * p
+				} else {
+					mass[to][q2] += pq * p
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("query: transducer has no accepting mass")
+	}
+	return matchedTotal / total, nil
+}

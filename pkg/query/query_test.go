@@ -1,0 +1,273 @@
+package query_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/core"
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/fst"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// doc builds a Doc literal from per-chunk (text, prob) pairs.
+func doc(chunks ...[]staccato.Alt) *staccato.Doc {
+	d := &staccato.Doc{ID: "t"}
+	for _, alts := range chunks {
+		d.Chunks = append(d.Chunks, staccato.PathSet{Alts: alts, Retained: 1})
+	}
+	return d
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestSubstringWithinChunk(t *testing.T) {
+	d := doc([]staccato.Alt{{Text: "hello", Prob: 0.8}, {Text: "hallo", Prob: 0.2}})
+	for _, tc := range []struct {
+		term string
+		want float64
+	}{
+		{"ell", 0.8},
+		{"allo", 0.2},
+		{"llo", 1.0},
+		{"hello", 0.8},
+		{"xyz", 0},
+	} {
+		p, err := query.SubstringProb(d, tc.term)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.term, err)
+		}
+		approx(t, "P("+tc.term+")", p, tc.want)
+	}
+}
+
+func TestSubstringSpansChunkBoundary(t *testing.T) {
+	d := doc(
+		[]staccato.Alt{{Text: "ab", Prob: 0.5}, {Text: "ax", Prob: 0.5}},
+		[]staccato.Alt{{Text: "cd", Prob: 0.7}, {Text: "xd", Prob: 0.3}},
+	)
+	// "bc" requires first chunk "ab" and second "cd": 0.5 * 0.7.
+	p, err := query.SubstringProb(d, "bc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, `P(bc)`, p, 0.35)
+	// "xx" spans as ...x + x...: "ax" then "xd": 0.5 * 0.3.
+	p, err = query.SubstringProb(d, "xx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, `P(xx)`, p, 0.15)
+}
+
+func TestSubstringThreeChunkSpan(t *testing.T) {
+	d := doc(
+		[]staccato.Alt{{Text: "a", Prob: 0.9}, {Text: "z", Prob: 0.1}},
+		[]staccato.Alt{{Text: "b", Prob: 0.6}, {Text: "q", Prob: 0.4}},
+		[]staccato.Alt{{Text: "c", Prob: 0.5}, {Text: "y", Prob: 0.5}},
+	)
+	p, err := query.SubstringProb(d, "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "P(abc)", p, 0.9*0.6*0.5)
+}
+
+func TestSubstringDoesNotDoubleCount(t *testing.T) {
+	// Both alternatives contain "a"; probability must be exactly 1, not
+	// the sum of per-occurrence masses.
+	d := doc([]staccato.Alt{{Text: "aa", Prob: 0.5}, {Text: "ba", Prob: 0.5}})
+	p, err := query.SubstringProb(d, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "P(a)", p, 1)
+}
+
+func TestEvalSortsByProbability(t *testing.T) {
+	d := doc([]staccato.Alt{{Text: "abc", Prob: 0.6}, {Text: "abd", Prob: 0.4}})
+	ms, err := query.Eval(d, []string{"abd", "ab", "zz"}, query.ModeSubstring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0].Term != "ab" || ms[1].Term != "abd" || ms[2].Term != "zz" {
+		t.Fatalf("Eval order = %+v", ms)
+	}
+	approx(t, "P(ab)", ms[0].Prob, 1)
+	approx(t, "P(abd)", ms[1].Prob, 0.4)
+	approx(t, "P(zz)", ms[2].Prob, 0)
+}
+
+func TestEmptyTermRejected(t *testing.T) {
+	d := doc([]staccato.Alt{{Text: "x", Prob: 1}})
+	if _, err := query.SubstringProb(d, ""); err == nil {
+		t.Error("empty substring term should be rejected")
+	}
+	if _, err := query.KeywordProb(d, ""); err == nil {
+		t.Error("empty keyword term should be rejected")
+	}
+}
+
+func TestKeywordBoundaries(t *testing.T) {
+	d := doc([]staccato.Alt{{Text: "the cat sat", Prob: 0.5}, {Text: "the category", Prob: 0.5}})
+	for _, tc := range []struct {
+		term string
+		want float64
+	}{
+		{"cat", 0.5},      // "category" must not match as a keyword
+		{"the", 1.0},      // at document start
+		{"sat", 0.5},      // at document end
+		{"category", 0.5}, // whole token at end
+		{"at", 0},         // interior substring only
+	} {
+		p, err := query.KeywordProb(d, tc.term)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.term, err)
+		}
+		approx(t, "keyword P("+tc.term+")", p, tc.want)
+	}
+}
+
+func TestKeywordSpansChunkBoundary(t *testing.T) {
+	d := doc(
+		[]staccato.Alt{{Text: "big ca", Prob: 0.6}, {Text: "big co", Prob: 0.4}},
+		[]staccato.Alt{{Text: "t nap", Prob: 0.5}, {Text: "ttle ", Prob: 0.5}},
+	)
+	// "cat" assembles from "big ca" + "t nap" only: 0.6 * 0.5. The
+	// "ca"+"ttle " combination spells "cattle", which must not match.
+	p, err := query.KeywordProb(d, "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "keyword P(cat)", p, 0.3)
+	// "cattle" spans the boundary as a whole token.
+	p, err = query.KeywordProb(d, "cattle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "keyword P(cattle)", p, 0.3)
+}
+
+func TestKeywordRejectsNonWordTerm(t *testing.T) {
+	d := doc([]staccato.Alt{{Text: "x", Prob: 1}})
+	if _, err := query.KeywordProb(d, "two words"); err == nil {
+		t.Error("keyword term with a space should be rejected")
+	}
+}
+
+func TestKeywordRepeatedToken(t *testing.T) {
+	// After "foofoo" fails the right-boundary check, a later clean "foo"
+	// token must still match.
+	d := doc([]staccato.Alt{{Text: "foofoo foo", Prob: 1}})
+	p, err := query.KeywordProb(d, "foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "keyword P(foo)", p, 1)
+	d2 := doc([]staccato.Alt{{Text: "foofoo", Prob: 1}})
+	p, err = query.KeywordProb(d2, "foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "keyword P(foo) in foofoo", p, 0)
+}
+
+// TestFSTSubstringMatchesBruteForce checks the exact transducer query
+// against full path enumeration on small generated documents.
+func TestFSTSubstringMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		truth, f := testgen.MustGenerate(testgen.Config{Length: 8, Seed: seed})
+		dist := enumerate(f)
+		var total float64
+		for _, p := range dist {
+			total += p
+		}
+		probes := map[string]bool{}
+		for i := 0; i+3 <= len(truth); i++ {
+			probes[truth[i:i+3]] = true
+		}
+		probes["zzz"] = true
+		for probe := range probes {
+			var want float64
+			for s, p := range dist {
+				if strings.Contains(s, probe) {
+					want += p
+				}
+			}
+			want /= total
+			got, err := query.FSTSubstringProb(f, probe)
+			if err != nil {
+				t.Fatalf("seed %d %q: %v", seed, probe, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("seed %d: P(%q) = %v, brute force %v", seed, probe, got, want)
+			}
+		}
+	}
+}
+
+// TestDocQueryMatchesBruteForce cross-checks the chunk DP against direct
+// expansion of the product distribution.
+func TestDocQueryMatchesBruteForce(t *testing.T) {
+	_, f := testgen.MustGenerate(testgen.Config{Length: 12, Seed: 9})
+	d, err := staccato.Build(f, "d", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strs []string
+	var probs []float64
+	var cross func(i int, s string, p float64)
+	cross = func(i int, s string, p float64) {
+		if i == len(d.Chunks) {
+			strs = append(strs, s)
+			probs = append(probs, p)
+			return
+		}
+		for _, alt := range d.Chunks[i].Alts {
+			cross(i+1, s+alt.Text, p*alt.Prob)
+		}
+	}
+	cross(0, "", 1)
+	for _, probe := range []string{"ab", "th", "e", "qq", "xy"} {
+		var want float64
+		for i, s := range strs {
+			if strings.Contains(s, probe) {
+				want += probs[i]
+			}
+		}
+		got, err := query.SubstringProb(d, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("P(%q) = %v, brute force %v", probe, got, want)
+		}
+	}
+}
+
+// enumerate brute-forces the full path distribution of a small SFST.
+func enumerate(f *fst.SFST) map[string]float64 {
+	out := map[string]float64{}
+	var walk func(s fst.StateID, prefix []rune, weight float64)
+	walk = func(s fst.StateID, prefix []rune, weight float64) {
+		if f.IsFinal(s) {
+			out[string(prefix)] += core.ProbFromWeight(weight)
+		}
+		for _, a := range f.Arcs(s) {
+			p := prefix
+			if a.Label != fst.Epsilon {
+				p = append(prefix[:len(prefix):len(prefix)], a.Label)
+			}
+			walk(a.To, p, weight+a.Weight)
+		}
+	}
+	walk(f.Start(), nil, 0)
+	return out
+}

@@ -1,0 +1,99 @@
+package staccato
+
+import (
+	"fmt"
+
+	"github.com/paper-repo/staccato-go/pkg/fst"
+)
+
+// Segment is one chunk's slice of the underlying transducer: all paths
+// from the boundary state From up to the boundary state To (or, for the
+// last segment, up to any final state when ToEnd is set). Boundaries are
+// always cut states — states every accepting path passes through — so the
+// concatenation of one path per segment is always a complete accepting
+// path of F, and every accepting path decomposes uniquely this way.
+type Segment struct {
+	F     *fst.SFST
+	From  fst.StateID
+	To    fst.StateID
+	ToEnd bool
+}
+
+// CutStates returns the states of f that every accepting path passes
+// through, in ascending topological order. The start state is always
+// included. These are the only valid chunk boundaries.
+//
+// Because Build normalizes states into topological order, a state s is on
+// every path iff no arc "jumps over" it (no arc u→v with u < s < v) and no
+// accepting path has already terminated before it (no final state < s).
+// Both conditions reduce to interval marks over the state sequence, so the
+// whole computation is one sweep over the arcs.
+func CutStates(f *fst.SFST) []fst.StateID {
+	n := f.NumStates()
+	crossed := make([]int, n+1)
+	mark := func(lo, hi int) { // states in [lo, hi) are not cut states
+		if lo < hi {
+			crossed[lo]++
+			crossed[hi]--
+		}
+	}
+	for s := 0; s < n; s++ {
+		for _, a := range f.Arcs(fst.StateID(s)) {
+			mark(s+1, int(a.To))
+		}
+		if f.IsFinal(fst.StateID(s)) {
+			mark(s+1, n)
+		}
+	}
+	var cuts []fst.StateID
+	run := 0
+	for s := 0; s < n; s++ {
+		run += crossed[s]
+		if run == 0 {
+			cuts = append(cuts, fst.StateID(s))
+		}
+	}
+	return cuts
+}
+
+// Chunk splits f into at most numChunks sequential segments with cut
+// states as boundaries, spacing the boundaries evenly over the available
+// cuts. The effective number of chunks is min(numChunks, available
+// boundaries + 1): a transducer whose every path is one long mutually
+// entangled region cannot be cut at all and yields a single segment.
+func Chunk(f *fst.SFST, numChunks int) ([]Segment, error) {
+	if numChunks < 1 {
+		return nil, fmt.Errorf("staccato: Chunk: numChunks must be >= 1, got %d", numChunks)
+	}
+	// Interior boundary candidates: cut states other than the start, and
+	// not final states (a final cut would make the trailing segment's path
+	// set start with the empty path, double-counting terminated mass).
+	var cand []fst.StateID
+	for _, s := range CutStates(f) {
+		if s != f.Start() && !f.IsFinal(s) {
+			cand = append(cand, s)
+		}
+	}
+	eff := numChunks
+	if max := len(cand) + 1; eff > max {
+		eff = max
+	}
+
+	bounds := make([]fst.StateID, 0, eff+1)
+	bounds = append(bounds, f.Start())
+	for i := 1; i < eff; i++ {
+		bounds = append(bounds, cand[i*len(cand)/eff])
+	}
+
+	segs := make([]Segment, eff)
+	for i := 0; i < eff; i++ {
+		segs[i] = Segment{F: f, From: bounds[i]}
+		if i == eff-1 {
+			segs[i].To = fst.NoState
+			segs[i].ToEnd = true
+		} else {
+			segs[i].To = bounds[i+1]
+		}
+	}
+	return segs, nil
+}

@@ -1,0 +1,116 @@
+// Package staccato implements the paper's tunable approximation of an
+// SFST. The transducer is split into sequential chunks at states every
+// accepting path must pass through, and only the k most probable paths are
+// kept per chunk. The result, a Doc, is a dial between the two extremes of
+// OCR data management:
+//
+//   - chunks = as many as possible, k = 1 → the MAP string (what a
+//     conventional pipeline stores): cheap, but recall is lost for every
+//     term the OCR engine mis-ranked.
+//   - chunks = 1, k = AllPaths → the full SFST distribution: exact, but
+//     the path set explodes exponentially.
+//
+// Everything in between trades space and query cost for recall, exactly
+// the Staccato dial of Kumar & Ré (VLDB 2011). Correlations between
+// alternatives are kept inside a chunk and broken across chunk boundaries,
+// so a Doc is a product distribution over per-chunk path sets — which is
+// what pkg/query exploits to answer queries by dynamic programming.
+package staccato
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/paper-repo/staccato-go/pkg/fst"
+)
+
+// AllPaths requests that TopK keep every path in a chunk; combined with a
+// single chunk it materializes the exact SFST distribution. Only feasible
+// for small transducers — TopK returns ErrPathExplosion when enumeration
+// exceeds its internal budget.
+const AllPaths = math.MaxInt32
+
+// MaxChunks requests as many chunks as the transducer allows (one per cut
+// state); combined with k=1 the resulting Doc is exactly the MAP string.
+const MaxChunks = math.MaxInt32
+
+// Alt is one retained reading of a chunk with its probability, normalized
+// over the chunk's retained paths.
+type Alt struct {
+	Text string
+	Prob float64
+}
+
+// PathSet is the retained top-k path set of one chunk. Alts are sorted by
+// descending probability (ties broken by text) and their probabilities sum
+// to 1. Retained records the fraction of the chunk's total probability
+// mass the kept paths cover, a diagnostic for how lossy the approximation
+// was at this dial setting.
+type PathSet struct {
+	Alts     []Alt
+	Retained float64
+}
+
+// Params records the dial setting a Doc was built with. Chunks is the
+// effective chunk count, which may be lower than requested when the
+// transducer has fewer cut states.
+type Params struct {
+	Chunks int
+	K      int
+}
+
+// Doc is a Staccato-approximated document: a sequence of independent
+// chunks, each a distribution over a small set of strings. It is the unit
+// of storage (pkg/store) and of query evaluation (pkg/query).
+type Doc struct {
+	ID     string
+	Params Params
+	Chunks []PathSet
+}
+
+// MAP returns the most probable reading under the Doc's product
+// distribution: the concatenation of each chunk's top alternative.
+func (d *Doc) MAP() string {
+	var out []byte
+	for _, c := range d.Chunks {
+		if len(c.Alts) > 0 {
+			out = append(out, c.Alts[0].Text...)
+		}
+	}
+	return string(out)
+}
+
+// Build runs the full approximation pipeline: split f into at most
+// numChunks chunks and keep the top k paths in each, returning the
+// assembled Doc. It is the one-call form of Chunk followed by TopK.
+func Build(f *fst.SFST, id string, numChunks, k int) (*Doc, error) {
+	segs, err := Chunk(f, numChunks)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{
+		ID:     id,
+		Params: Params{Chunks: len(segs), K: k},
+		Chunks: make([]PathSet, len(segs)),
+	}
+	for i, seg := range segs {
+		ps, err := TopK(seg, k)
+		if err != nil {
+			return nil, fmt.Errorf("staccato: chunk %d: %w", i, err)
+		}
+		doc.Chunks[i] = ps
+	}
+	return doc, nil
+}
+
+// sortAlts orders alternatives by descending probability, breaking ties by
+// text so output is deterministic.
+func sortAlts(alts []Alt) {
+	sort.Slice(alts, func(i, j int) bool {
+		if alts[i].Prob != alts[j].Prob {
+			return alts[i].Prob > alts[j].Prob
+		}
+		return alts[i].Text < alts[j].Text
+	})
+}

@@ -1,0 +1,39 @@
+// Package store persists Staccato documents. The DocStore interface is
+// the contract future backends implement: the in-memory store here is the
+// reference implementation, and an SQL- or disk-backed store can slot in
+// behind the same three operations in a later PR without touching the
+// query or approximation layers. Documents cross the interface through a
+// versioned binary codec, so any backend (and any wire protocol) shares
+// one serialized form.
+package store
+
+import (
+	"context"
+	"errors"
+
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// ErrNotFound is returned by Get when no document has the requested ID.
+var ErrNotFound = errors.New("store: document not found")
+
+// ErrStopScan can be returned by a Scan callback to end the scan early
+// without Scan reporting an error.
+var ErrStopScan = errors.New("store: stop scan")
+
+// DocStore stores Staccato documents keyed by their ID.
+//
+// Implementations must be safe for concurrent use, must not retain or
+// alias documents passed to Put (callers may mutate them afterwards), and
+// Scan must visit documents in ascending ID order so results are
+// deterministic and pagination can be layered on top later.
+type DocStore interface {
+	// Put stores doc, replacing any existing document with the same ID.
+	Put(ctx context.Context, doc *staccato.Doc) error
+	// Get returns the document with the given ID, or ErrNotFound.
+	Get(ctx context.Context, id string) (*staccato.Doc, error)
+	// Scan calls fn for each stored document in ascending ID order. If fn
+	// returns ErrStopScan the scan ends and Scan returns nil; any other
+	// error ends the scan and is returned.
+	Scan(ctx context.Context, fn func(doc *staccato.Doc) error) error
+}

@@ -1,0 +1,150 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+func sampleDoc(t *testing.T, id string, seed int64) *staccato.Doc {
+	t.Helper()
+	_, f := testgen.MustGenerate(testgen.Config{Length: 20, Seed: seed})
+	d, err := staccato.Build(f, id, 4, 3)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := sampleDoc(t, "doc-7", 7)
+	data, err := store.Encode(want)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := store.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	good, err := store.Encode(sampleDoc(t, "d", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := store.Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", name)
+		}
+	}
+}
+
+func TestMemStorePutGet(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMemStore()
+	want := sampleDoc(t, "doc-1", 1)
+	if err := st.Put(ctx, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := st.Get(ctx, "doc-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Get returned a different document than Put stored")
+	}
+	// The store must not alias the caller's document.
+	want.Chunks[0].Alts[0].Text = "mutated"
+	got2, err := st.Get(ctx, "doc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Chunks[0].Alts[0].Text == "mutated" {
+		t.Error("store aliased the caller's document")
+	}
+}
+
+func TestMemStoreGetMissing(t *testing.T) {
+	st := store.NewMemStore()
+	_, err := st.Get(context.Background(), "nope")
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemStorePutValidation(t *testing.T) {
+	st := store.NewMemStore()
+	if err := st.Put(context.Background(), &staccato.Doc{}); err == nil {
+		t.Error("Put accepted a document with no ID")
+	}
+	if err := st.Put(context.Background(), nil); err == nil {
+		t.Error("Put accepted nil")
+	}
+}
+
+func TestMemStoreScanOrderAndStop(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMemStore()
+	for i, id := range []string{"c", "a", "b"} {
+		if err := st.Put(ctx, sampleDoc(t, id, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	var seen []string
+	if err := st.Scan(ctx, func(d *staccato.Doc) error {
+		seen = append(seen, d.ID)
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if !reflect.DeepEqual(seen, []string{"a", "b", "c"}) {
+		t.Errorf("Scan order = %v, want ascending IDs", seen)
+	}
+
+	seen = nil
+	if err := st.Scan(ctx, func(d *staccato.Doc) error {
+		seen = append(seen, d.ID)
+		return store.ErrStopScan
+	}); err != nil {
+		t.Fatalf("Scan with stop: %v", err)
+	}
+	if len(seen) != 1 {
+		t.Errorf("ErrStopScan did not end the scan: visited %v", seen)
+	}
+
+	wantErr := errors.New("boom")
+	if err := st.Scan(ctx, func(d *staccato.Doc) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("Scan error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestMemStoreContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := store.NewMemStore()
+	if err := st.Put(ctx, sampleDoc(t, "d", 1)); err == nil {
+		t.Error("Put ignored cancelled context")
+	}
+	if _, err := st.Get(ctx, "d"); err == nil {
+		t.Error("Get ignored cancelled context")
+	}
+}
