@@ -1,19 +1,31 @@
-// Command staccato demonstrates the full Staccato pipeline end-to-end:
-// generate a synthetic OCR transducer, build approximated documents at a
-// chosen dial setting, persist them through a DocStore, and run
-// probabilistic queries — showing recall beyond the MAP string, the
-// paper's headline result.
+// Command staccato demonstrates the Staccato pipeline. It has two
+// subcommands:
 //
-// Usage:
+//	staccato demo [flags]            single-document walkthrough (default)
+//	staccato search [flags] TERM...  corpus search with the parallel engine
 //
-//	staccato [-seed N] [-len N] [-chunks N] [-k N] [-term STRING] [-v]
+// demo generates one synthetic OCR transducer, builds approximated
+// documents at a chosen dial setting, persists them through a DocStore,
+// and runs probabilistic queries — showing recall beyond the MAP string,
+// the paper's headline result:
+//
+//	staccato demo [-seed N] [-len N] [-chunks N] [-k N] [-term STRING] [-v]
 //
 // With no -term, the demo searches for a ground-truth substring that the
 // MAP string lost and reports the probability Staccato recovers for it.
+//
+// search ingests a whole synthetic corpus into a DocStore and runs one
+// compiled boolean query against every document through the worker-pool
+// Engine, printing the ranked matches:
+//
+//	staccato search [-docs N] [-workers N] [-top N] [-minprob P]
+//	                [-mode substring|keyword] [-combine and|or] [-not TERM]
+//	                TERM...
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,21 +58,54 @@ type report struct {
 	probExact float64
 }
 
-func main() {
-	cfg := config{}
-	flag.Int64Var(&cfg.seed, "seed", 42, "PRNG seed for the synthetic document")
-	flag.IntVar(&cfg.length, "len", 200, "ground truth length in characters")
-	flag.IntVar(&cfg.chunks, "chunks", 10, "number of chunks (the Staccato dial's first knob)")
-	flag.IntVar(&cfg.k, "k", 4, "paths kept per chunk (the dial's second knob)")
-	flag.StringVar(&cfg.term, "term", "", "query term (default: search for a term MAP lost)")
-	flag.IntVar(&cfg.termLen, "termlen", 4, "length of auto-searched terms")
-	flag.BoolVar(&cfg.verbose, "v", false, "print the full truth and MAP strings")
-	flag.Parse()
+// errFlagParse marks a command line the FlagSet already reported (with
+// usage) on stderr; main must not print it a second time.
+var errFlagParse = errors.New("invalid command line")
 
-	if _, err := run(os.Stdout, cfg); err != nil {
+func main() {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "search":
+		err = searchMain(os.Stdout, args[1:])
+	case len(args) > 0 && args[0] == "demo":
+		err = demoMain(os.Stdout, args[1:])
+	default:
+		// No subcommand: keep the historical behavior of running the demo.
+		err = demoMain(os.Stdout, args)
+	}
+	if errors.Is(err, errFlagParse) {
+		os.Exit(2)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "staccato:", err)
 		os.Exit(1)
 	}
+}
+
+func demoMain(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	cfg := config{}
+	fs.Int64Var(&cfg.seed, "seed", 42, "PRNG seed for the synthetic document")
+	fs.IntVar(&cfg.length, "len", 200, "ground truth length in characters")
+	fs.IntVar(&cfg.chunks, "chunks", 10, "number of chunks (the Staccato dial's first knob)")
+	fs.IntVar(&cfg.k, "k", 4, "paths kept per chunk (the dial's second knob)")
+	fs.StringVar(&cfg.term, "term", "", "query term (default: search for a term MAP lost)")
+	fs.IntVar(&cfg.termLen, "termlen", 4, "length of auto-searched terms")
+	fs.BoolVar(&cfg.verbose, "v", false, "print the full truth and MAP strings")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
+	// The demo takes no positional arguments; rejecting them catches a
+	// mistyped subcommand before it silently runs the default demo.
+	if fs.NArg() > 0 {
+		return fmt.Errorf("demo: unexpected argument %q (subcommands are demo and search)", fs.Arg(0))
+	}
+	_, err := run(w, cfg)
+	return err
 }
 
 func run(w io.Writer, cfg config) (report, error) {
@@ -122,15 +167,16 @@ func run(w io.Writer, cfg config) (report, error) {
 	}
 	rep.term = term
 
-	// probMAP comes from querying the stored MAP-extreme doc: a degenerate
-	// distribution, so the probability is exactly 0 or 1.
-	if rep.probMAP, err = query.SubstringProb(mapDoc, term); err != nil {
+	// One compiled query serves every evaluation of the term. probMAP
+	// comes from the stored MAP-extreme doc: a degenerate distribution,
+	// so the probability is exactly 0 or 1.
+	tq, err := query.Substring(term)
+	if err != nil {
 		return rep, err
 	}
-	if rep.probStac, err = query.SubstringProb(doc, term); err != nil {
-		return rep, err
-	}
-	if rep.probExact, err = query.FSTSubstringProb(f, term); err != nil {
+	rep.probMAP = tq.Eval(mapDoc)
+	rep.probStac = tq.Eval(doc)
+	if rep.probExact, err = tq.EvalFST(f); err != nil {
 		return rep, err
 	}
 
@@ -160,8 +206,11 @@ func findLostTerm(truth, mapStr string, doc *staccato.Doc, n int) string {
 			continue
 		}
 		seen[t] = true
-		p, err := query.SubstringProb(doc, t)
-		if err == nil && p > bestProb {
+		q, err := query.Substring(t)
+		if err != nil {
+			continue
+		}
+		if p := q.Eval(doc); p > bestProb {
 			best, bestProb = t, p
 		}
 	}

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
 )
 
 // TestDemoRecallBeyondMAP runs the demo at its default dial (200-char
@@ -51,5 +54,123 @@ func TestDemoExplicitTerm(t *testing.T) {
 	}
 	if rep1 != rep2 {
 		t.Errorf("demo not deterministic: %+v vs %+v", rep1, rep2)
+	}
+}
+
+// TestSearchFindsPlantedDoc plants a query term taken from a document's
+// MAP string — guaranteed to have positive probability in that document's
+// retained distribution — and checks the search subcommand surfaces it.
+func TestSearchFindsPlantedDoc(t *testing.T) {
+	cfg := searchConfig{
+		docs: 25, length: 40, seed: 5, chunks: 5, k: 3,
+		workers: 3, top: 0, mode: "substring", combine: "and",
+	}
+	cases, err := testgen.Docs(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapStr := cases[7].Doc.MAP()
+	cfg.terms = []string{mapStr[10:14]}
+
+	var out strings.Builder
+	rep, err := runSearch(&out, cfg)
+	if err != nil {
+		t.Fatalf("runSearch: %v\noutput:\n%s", err, out.String())
+	}
+	if rep.scanned != cfg.docs {
+		t.Errorf("scanned %d docs, want %d", rep.scanned, cfg.docs)
+	}
+	found := false
+	for _, r := range rep.results {
+		if r.DocID == "doc-0008" {
+			found = true
+			if r.Prob <= 0 {
+				t.Errorf("planted doc has probability %v, want > 0", r.Prob)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("planted doc-0008 missing from results %+v\noutput:\n%s", rep.results, out.String())
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers runs the same search at different
+// worker counts and requires identical reports.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	base := searchConfig{
+		docs: 60, length: 30, seed: 9, chunks: 4, k: 3,
+		workers: 1, top: 10, mode: "substring", combine: "or",
+		not: "zz", terms: []string{"e", "a"},
+	}
+	rep1, err := runSearch(&strings.Builder{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.results) == 0 {
+		t.Fatal("search matched nothing; broaden the test terms")
+	}
+	par := base
+	par.workers = 8
+	rep8, err := runSearch(&strings.Builder{}, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep8) {
+		t.Errorf("workers=8 report differs from workers=1:\n%+v\n%+v", rep8, rep1)
+	}
+}
+
+func TestSearchQueryValidation(t *testing.T) {
+	if _, err := runSearch(&strings.Builder{}, searchConfig{docs: 1, mode: "substring", combine: "and"}); err == nil {
+		t.Error("search accepted an empty term list")
+	}
+	if _, err := runSearch(&strings.Builder{}, searchConfig{
+		docs: 1, mode: "glob", combine: "and", terms: []string{"x"},
+	}); err == nil {
+		t.Error("search accepted an unknown mode")
+	}
+	if _, err := runSearch(&strings.Builder{}, searchConfig{
+		docs: 1, mode: "substring", combine: "xor", terms: []string{"x", "y"},
+	}); err == nil {
+		t.Error("search accepted an unknown combiner")
+	}
+	if _, err := runSearch(&strings.Builder{}, searchConfig{
+		docs: 1, mode: "keyword", combine: "and", terms: []string{"two words"},
+	}); err == nil {
+		t.Error("keyword search accepted a term with a space")
+	}
+}
+
+// TestSearchKeywordQueryString checks the flag set maps onto the query
+// algebra the way the usage text promises.
+func TestSearchKeywordQueryString(t *testing.T) {
+	cfg := searchConfig{
+		docs: 5, length: 20, seed: 1, chunks: 3, k: 2,
+		workers: 1, mode: "keyword", combine: "or",
+		not: "bad", terms: []string{"foo", "bar"},
+	}
+	rep, err := runSearch(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `and(or(kw("foo"), kw("bar")), not(kw("bad")))`
+	if rep.query != want {
+		t.Errorf("query = %s, want %s", rep.query, want)
+	}
+}
+
+// TestDemoRejectsPositionalArgs guards against a mistyped subcommand
+// silently running the default demo.
+func TestDemoRejectsPositionalArgs(t *testing.T) {
+	if err := demoMain(&strings.Builder{}, []string{"serch", "-docs", "5", "e"}); err == nil {
+		t.Error("demo accepted a positional argument (likely a typo'd subcommand)")
+	}
+}
+
+// TestSearchRejectsTrailingFlags guards against flags placed after the
+// first term silently becoming query terms.
+func TestSearchRejectsTrailingFlags(t *testing.T) {
+	if err := searchMain(&strings.Builder{}, []string{"e", "-top", "5"}); err == nil {
+		t.Error("search accepted a flag-shaped positional term")
 	}
 }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// searchConfig carries everything the search subcommand needs, so tests
+// can drive runSearch without a command line.
+type searchConfig struct {
+	docs    int
+	length  int
+	seed    int64
+	chunks  int
+	k       int
+	workers int
+	top     int
+	minProb float64
+	mode    string
+	combine string
+	not     string
+	terms   []string
+}
+
+// searchReport captures the deterministic part of a search run.
+type searchReport struct {
+	query   string
+	scanned int
+	results []query.Result
+}
+
+func searchMain(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	cfg := searchConfig{}
+	fs.IntVar(&cfg.docs, "docs", 100, "number of synthetic documents to ingest")
+	fs.IntVar(&cfg.length, "len", 60, "ground truth length of each document")
+	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the corpus")
+	fs.IntVar(&cfg.chunks, "chunks", 6, "chunks per document (the dial's first knob)")
+	fs.IntVar(&cfg.k, "k", 3, "paths kept per chunk (the dial's second knob)")
+	fs.IntVar(&cfg.workers, "workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.top, "top", 10, "keep only the N best-ranked documents (0 = all)")
+	fs.Float64Var(&cfg.minProb, "minprob", 0, "drop documents below this probability")
+	fs.StringVar(&cfg.mode, "mode", "substring", "term mode: substring or keyword")
+	fs.StringVar(&cfg.combine, "combine", "and", "combine multiple terms with: and or or")
+	fs.StringVar(&cfg.not, "not", "", "additionally require this term to be absent")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
+	cfg.terms = fs.Args()
+	// flag.Parse stops at the first positional, so a flag placed after a
+	// term would silently become a query term; reject the obvious case.
+	for _, term := range cfg.terms {
+		if strings.HasPrefix(term, "-") {
+			return fmt.Errorf("search: term %q looks like a flag; place flags before the first term", term)
+		}
+	}
+	_, err := runSearch(w, cfg)
+	return err
+}
+
+// buildQuery compiles the CLI's term list into one boolean Query.
+func buildQuery(cfg searchConfig) (*query.Query, error) {
+	leafFor := func(term string) (*query.Query, error) {
+		switch cfg.mode {
+		case "substring":
+			return query.Substring(term)
+		case "keyword":
+			return query.Keyword(term)
+		default:
+			return nil, fmt.Errorf("search: unknown -mode %q (want substring or keyword)", cfg.mode)
+		}
+	}
+	if len(cfg.terms) == 0 {
+		return nil, fmt.Errorf("search: at least one query term is required")
+	}
+	leaves := make([]*query.Query, len(cfg.terms))
+	for i, term := range cfg.terms {
+		q, err := leafFor(term)
+		if err != nil {
+			return nil, err
+		}
+		leaves[i] = q
+	}
+	var q *query.Query
+	switch cfg.combine {
+	case "and":
+		q = query.And(leaves[0], leaves[1:]...)
+	case "or":
+		q = query.Or(leaves[0], leaves[1:]...)
+	default:
+		return nil, fmt.Errorf("search: unknown -combine %q (want and or or)", cfg.combine)
+	}
+	if cfg.not != "" {
+		neg, err := leafFor(cfg.not)
+		if err != nil {
+			return nil, err
+		}
+		q = query.And(q, query.Not(neg))
+	}
+	return q, nil
+}
+
+// runSearch ingests the synthetic corpus, runs one compiled query through
+// the parallel engine, and prints the ranked matches.
+func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
+	var rep searchReport
+	q, err := buildQuery(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.query = q.String()
+	ctx := context.Background()
+
+	ingestStart := time.Now()
+	cases, err := testgen.Docs(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k)
+	if err != nil {
+		return rep, err
+	}
+	st := store.NewMemStore()
+	for _, c := range cases {
+		if err := st.Put(ctx, c.Doc); err != nil {
+			return rep, err
+		}
+	}
+	rep.scanned = st.Len()
+	fmt.Fprintf(w, "corpus: %d docs (len=%d chunks=%d k=%d) ingested in %v\n",
+		st.Len(), cfg.length, cfg.chunks, cfg.k, time.Since(ingestStart).Round(time.Millisecond))
+	fmt.Fprintf(w, "query: %s\n", rep.query)
+
+	eng := query.NewEngine(st, query.EngineOptions{Workers: cfg.workers})
+	searchStart := time.Now()
+	rep.results, err = eng.Search(ctx, q, query.SearchOptions{MinProb: cfg.minProb, TopN: cfg.top})
+	if err != nil {
+		return rep, err
+	}
+	elapsed := time.Since(searchStart)
+	fmt.Fprintf(w, "engine: workers=%d elapsed=%v", eng.Workers(), elapsed.Round(time.Microsecond))
+	if elapsed > 0 {
+		fmt.Fprintf(w, " (%.0f docs/s)", float64(rep.scanned)/elapsed.Seconds())
+	}
+	fmt.Fprintln(w)
+
+	if len(rep.results) == 0 {
+		fmt.Fprintln(w, "no documents matched")
+		return rep, nil
+	}
+	fmt.Fprintf(w, "%4s  %-8s  %s\n", "rank", "prob", "doc")
+	for i, r := range rep.results {
+		fmt.Fprintf(w, "%4d  %-8.4f  %s\n", i+1, r.Prob, r.DocID)
+	}
+	return rep, nil
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/paper-repo/staccato-go/internal/core"
 	"github.com/paper-repo/staccato-go/pkg/fst"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
 )
 
 // Config controls generation. Zero values take the documented defaults.
@@ -136,6 +137,9 @@ type Case struct {
 // Corpus generates n documents by advancing the seed, for property tests
 // that want variety while staying deterministic.
 func Corpus(n int, cfg Config) ([]Case, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("testgen: corpus size must be >= 0, got %d", n)
+	}
 	cfg = cfg.withDefaults()
 	out := make([]Case, n)
 	for i := range out {
@@ -146,6 +150,32 @@ func Corpus(n int, cfg Config) ([]Case, error) {
 			return nil, err
 		}
 		out[i] = Case{Truth: truth, FST: f}
+	}
+	return out, nil
+}
+
+// DocCase pairs one approximated corpus document with its ground truth.
+type DocCase struct {
+	Truth string
+	Doc   *staccato.Doc
+}
+
+// Docs builds a corpus of n Staccato documents at the (chunks, k) dial
+// setting: the i-th document is generated from cfg with seed cfg.Seed+i
+// and carries the ID "doc-%04d" (1-based), so corpus contents — and any
+// scan over them — are fully deterministic.
+func Docs(n int, cfg Config, chunks, k int) ([]DocCase, error) {
+	cases, err := Corpus(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DocCase, n)
+	for i, c := range cases {
+		d, err := staccato.Build(c.FST, fmt.Sprintf("doc-%04d", i+1), chunks, k)
+		if err != nil {
+			return nil, fmt.Errorf("testgen: doc %d: %w", i+1, err)
+		}
+		out[i] = DocCase{Truth: c.Truth, Doc: d}
 	}
 	return out, nil
 }

@@ -1,7 +1,9 @@
 package testgen
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -91,5 +93,40 @@ func TestCorpus(t *testing.T) {
 	}
 	if len(seen) != 4 {
 		t.Error("corpus cases are not distinct")
+	}
+}
+
+func TestDocs(t *testing.T) {
+	docs, err := Docs(3, Config{Length: 25, Seed: 4}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("len = %d, want 3", len(docs))
+	}
+	for i, dc := range docs {
+		wantID := fmt.Sprintf("doc-%04d", i+1)
+		if dc.Doc == nil || dc.Doc.ID != wantID {
+			t.Errorf("doc %d ID = %q, want %q", i, dc.Doc.ID, wantID)
+		}
+		if len(dc.Truth) != 25 {
+			t.Errorf("doc %d truth length = %d", i, len(dc.Truth))
+		}
+	}
+	again, err := Docs(3, Config{Length: 25, Seed: 4}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(docs, again) {
+		t.Error("Docs is not deterministic for a fixed config")
+	}
+}
+
+func TestCorpusRejectsNegativeSize(t *testing.T) {
+	if _, err := Corpus(-1, Config{}); err == nil {
+		t.Error("Corpus accepted a negative size")
+	}
+	if _, err := Docs(-1, Config{}, 4, 2); err == nil {
+		t.Error("Docs accepted a negative size")
 	}
 }

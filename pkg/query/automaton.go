@@ -18,10 +18,18 @@ type automaton interface {
 	acceptAtEnd(q int) bool
 }
 
+// maxTermRunes bounds compiled terms so automaton states (plus the
+// product DP's matched sentinel) always fit the uint16 joint-state
+// encoding, with generous headroom for any realistic query.
+const maxTermRunes = 1 << 12
+
 func compile(term string, mode Mode) (automaton, error) {
 	pat := []rune(term)
 	if len(pat) == 0 {
 		return nil, fmt.Errorf("query: empty term")
+	}
+	if len(pat) > maxTermRunes {
+		return nil, fmt.Errorf("query: term of %d runes exceeds the %d-rune limit", len(pat), maxTermRunes)
 	}
 	switch mode {
 	case ModeSubstring:

@@ -1,0 +1,211 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// Result is one document's answer to a corpus query.
+type Result struct {
+	DocID string
+	Prob  float64
+}
+
+// EngineOptions configures a new Engine.
+type EngineOptions struct {
+	// Workers is how many documents are evaluated concurrently. Zero or
+	// negative selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Engine executes compiled Queries against every document in a DocStore.
+// Documents stream out of DocStore.Scan, fan out to a fixed worker pool
+// for evaluation, and results are re-sequenced into scan order, so every
+// run over an unchanged store is deterministic regardless of worker count.
+// An Engine is stateless apart from its configuration and may be shared
+// across goroutines.
+type Engine struct {
+	st      store.DocStore
+	workers int
+}
+
+// NewEngine returns an Engine reading from st. st must be non-nil.
+func NewEngine(st store.DocStore, opts EngineOptions) *Engine {
+	if st == nil {
+		panic("query: NewEngine requires a non-nil DocStore")
+	}
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{st: st, workers: w}
+}
+
+// Workers returns the engine's worker pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// SearchOptions narrows and ranks what Search returns.
+type SearchOptions struct {
+	// MinProb drops documents whose probability is below the threshold.
+	// Documents with probability exactly zero are always dropped.
+	MinProb float64
+	// TopN keeps only the N best-ranked documents; zero keeps all.
+	TopN int
+}
+
+// Search evaluates q against every stored document and returns the
+// matches ranked by descending probability (ties broken by ascending
+// DocID), filtered and truncated per opts. The ranking is fully
+// deterministic: the same store contents and query produce identical
+// results at any worker count.
+func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Result, error) {
+	var out []Result
+	err := e.ForEach(ctx, q, func(r Result) error {
+		if r.Prob <= 0 || r.Prob < opts.MinProb {
+			return nil
+		}
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if opts.TopN > 0 && len(out) > opts.TopN {
+		out = out[:opts.TopN]
+	}
+	return out, nil
+}
+
+// ForEach evaluates q against every stored document and streams one
+// Result per document — unfiltered, probability zero included — to fn in
+// ascending DocID (scan) order. fn runs on the caller's goroutine.
+// Returning store.ErrStopScan from fn ends the stream early without
+// error; any other error cancels in-flight work and is returned.
+// Cancelling ctx aborts the stream with ctx's error: once cancellation
+// is observed, fn is not called again.
+func (e *Engine) ForEach(ctx context.Context, q *Query, fn func(Result) error) error {
+	if q == nil || q.expr == nil {
+		return errors.New("query: ForEach requires a compiled, non-nil Query")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		seq int
+		doc *staccato.Doc
+	}
+	type seqResult struct {
+		seq int
+		res Result
+	}
+	jobs := make(chan job, e.workers)
+	results := make(chan seqResult, e.workers)
+
+	// window bounds how many documents may be in flight — scanned but not
+	// yet delivered to fn. Without it, one slow document would let the
+	// scanner run the whole corpus ahead and park O(corpus) results in the
+	// collector's re-sequencing buffer. The scanner acquires a token per
+	// document; the collector releases it on delivery.
+	window := make(chan struct{}, 2*e.workers+2)
+
+	// Scanner: pull documents out of the store in ID order, stamping each
+	// with its sequence number so order can be restored after the pool.
+	var scanWG sync.WaitGroup
+	var scanErr error
+	scanWG.Add(1)
+	go func() {
+		defer scanWG.Done()
+		defer close(jobs)
+		seq := 0
+		scanErr = e.st.Scan(ctx, func(d *staccato.Doc) error {
+			select {
+			case window <- struct{}{}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			select {
+			case jobs <- job{seq: seq, doc: d}:
+				seq++
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+
+	// Workers: evaluate the shared compiled query, one document at a time.
+	var poolWG sync.WaitGroup
+	for i := 0; i < e.workers; i++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for j := range jobs {
+				r := seqResult{seq: j.seq, res: Result{DocID: j.doc.ID, Prob: q.Eval(j.doc)}}
+				select {
+				case results <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		scanWG.Wait()
+		poolWG.Wait()
+		close(results)
+	}()
+
+	// Collector: re-sequence out-of-order completions and deliver them to
+	// fn in scan order. The window cap bounds `pending` to the in-flight
+	// limit regardless of corpus size or per-document latency skew.
+	pending := make(map[int]Result, e.workers)
+	nextSeq := 0
+	var fnErr error
+	for r := range results {
+		if fnErr != nil || ctx.Err() != nil {
+			continue // draining after failure/stop/cancellation
+		}
+		pending[r.seq] = r.res
+		for {
+			res, ok := pending[nextSeq]
+			if !ok {
+				break
+			}
+			delete(pending, nextSeq)
+			nextSeq++
+			<-window // delivered: let the scanner admit another document
+			if err := fn(res); err != nil {
+				fnErr = err
+				cancel()
+				break
+			}
+		}
+	}
+	scanWG.Wait() // happens-before for scanErr
+
+	if fnErr != nil {
+		if errors.Is(fnErr, store.ErrStopScan) {
+			return nil
+		}
+		return fnErr
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	// The scan may have finished before an external cancellation was
+	// observed; the deferred cancel has not run yet, so a non-nil error
+	// here can only come from the caller's context.
+	return ctx.Err()
+}

@@ -1,0 +1,232 @@
+package query_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// corpusStore ingests a deterministic synthetic corpus into a MemStore.
+func corpusStore(t testing.TB, n, length int, seed int64, chunks, k int) *store.MemStore {
+	t.Helper()
+	cases, err := testgen.Docs(n, testgen.Config{Length: length, Seed: seed}, chunks, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewMemStore()
+	ctx := context.Background()
+	for _, c := range cases {
+		if err := st.Put(ctx, c.Doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// putDoc stores a hand-built single-chunk document with the given alts.
+func putDoc(t *testing.T, st *store.MemStore, id string, alts ...staccato.Alt) {
+	t.Helper()
+	d := &staccato.Doc{
+		ID:     id,
+		Params: staccato.Params{Chunks: 1, K: len(alts)},
+		Chunks: []staccato.PathSet{{Alts: alts, Retained: 1}},
+	}
+	if err := st.Put(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineSearchDeterministicAcrossWorkers is the acceptance scenario:
+// on a 500-doc seeded corpus, Search at workers=8 must return results
+// byte-identical to workers=1.
+func TestEngineSearchDeterministicAcrossWorkers(t *testing.T) {
+	st := corpusStore(t, 500, 24, 1, 4, 3)
+	q := query.And(
+		sub(t, "e"),
+		query.Not(sub(t, "zz")),
+	)
+	ctx := context.Background()
+	base, err := query.NewEngine(st, query.EngineOptions{Workers: 1}).
+		Search(ctx, q, query.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("corpus query matched nothing; test term too selective")
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := query.NewEngine(st, query.EngineOptions{Workers: workers}).
+			Search(ctx, q, query.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d results differ from workers=1", workers)
+		}
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", base) {
+			t.Fatalf("workers=%d results not byte-identical to workers=1", workers)
+		}
+	}
+}
+
+func TestEngineSearchRankingThresholdTopN(t *testing.T) {
+	st := store.NewMemStore()
+	putDoc(t, st, "doc-half", staccato.Alt{Text: "xa", Prob: 0.5}, staccato.Alt{Text: "ya", Prob: 0.5})
+	putDoc(t, st, "doc-sure-b", staccato.Alt{Text: "xb", Prob: 1})
+	putDoc(t, st, "doc-sure-a", staccato.Alt{Text: "xc", Prob: 1})
+	putDoc(t, st, "doc-none", staccato.Alt{Text: "qq", Prob: 1})
+	q := sub(t, "x")
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 4})
+	ctx := context.Background()
+
+	got, err := eng.Search(ctx, q, query.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prob-zero doc dropped; ties ranked by ascending DocID.
+	want := []query.Result{
+		{DocID: "doc-sure-a", Prob: 1},
+		{DocID: "doc-sure-b", Prob: 1},
+		{DocID: "doc-half", Prob: 0.5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Search = %+v, want %+v", got, want)
+	}
+
+	got, err = eng.Search(ctx, q, query.SearchOptions{MinProb: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("MinProb=0.6 kept %d results, want 2: %+v", len(got), got)
+	}
+
+	got, err = eng.Search(ctx, q, query.SearchOptions{TopN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want[:1]) {
+		t.Errorf("TopN=1 = %+v, want %+v", got, want[:1])
+	}
+}
+
+func TestEngineForEachStreamsInScanOrder(t *testing.T) {
+	st := corpusStore(t, 40, 20, 7, 3, 2)
+	q := sub(t, "a")
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 8})
+
+	var ids []string
+	if err := eng.ForEach(context.Background(), q, func(r query.Result) error {
+		ids = append(ids, r.DocID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 40 {
+		t.Fatalf("ForEach visited %d docs, want 40 (zero-probability docs included)", len(ids))
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("ForEach order not ascending: %v", ids)
+	}
+}
+
+func TestEngineForEachStopScan(t *testing.T) {
+	st := corpusStore(t, 40, 20, 7, 3, 2)
+	q := sub(t, "a")
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 8})
+
+	var ids []string
+	if err := eng.ForEach(context.Background(), q, func(r query.Result) error {
+		ids = append(ids, r.DocID)
+		if len(ids) == 3 {
+			return store.ErrStopScan
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ErrStopScan must end the stream without error, got %v", err)
+	}
+	if !reflect.DeepEqual(ids, []string{"doc-0001", "doc-0002", "doc-0003"}) {
+		t.Errorf("early-stopped stream = %v", ids)
+	}
+}
+
+func TestEngineForEachFnError(t *testing.T) {
+	st := corpusStore(t, 10, 20, 7, 3, 2)
+	q := sub(t, "a")
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 4})
+	boom := errors.New("boom")
+	err := eng.ForEach(context.Background(), q, func(query.Result) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("ForEach error = %v, want %v", err, boom)
+	}
+}
+
+func TestEngineContextCancelled(t *testing.T) {
+	st := corpusStore(t, 10, 20, 7, 3, 2)
+	q := sub(t, "a")
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Search(ctx, q, query.SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Search on cancelled context = %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-stream: the error surfaces and the stream ends. The
+	// corpus is much larger than the pipeline's in-flight window (a few
+	// docs at workers=2), so the scanner is still running when the second
+	// result reaches the callback and must observe the cancellation.
+	big := corpusStore(t, 64, 20, 7, 3, 2)
+	eng2 := query.NewEngine(big, query.EngineOptions{Workers: 2})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	n := 0
+	err := eng2.ForEach(ctx2, q, func(query.Result) error {
+		n++
+		if n == 2 {
+			cancel2()
+		}
+		return nil
+	})
+	cancel2()
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEach after mid-stream cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineNilQuery(t *testing.T) {
+	eng := query.NewEngine(store.NewMemStore(), query.EngineOptions{})
+	if _, err := eng.Search(context.Background(), nil, query.SearchOptions{}); err == nil {
+		t.Error("Search accepted a nil query")
+	}
+	// A zero-value Query was never compiled; the engine must reject it
+	// instead of panicking in a worker goroutine.
+	if _, err := eng.Search(context.Background(), &query.Query{}, query.SearchOptions{}); err == nil {
+		t.Error("Search accepted a zero-value query")
+	}
+}
+
+func TestZeroValueQueryEvalsToZero(t *testing.T) {
+	d := doc([]staccato.Alt{{Text: "x", Prob: 1}})
+	var q query.Query
+	if p := q.Eval(d); p != 0 {
+		t.Errorf("zero-value Query.Eval = %v, want 0", p)
+	}
+}
+
+func TestEngineDefaultWorkers(t *testing.T) {
+	eng := query.NewEngine(store.NewMemStore(), query.EngineOptions{})
+	if eng.Workers() < 1 {
+		t.Errorf("default Workers = %d, want >= 1", eng.Workers())
+	}
+	if w := query.NewEngine(store.NewMemStore(), query.EngineOptions{Workers: 3}).Workers(); w != 3 {
+		t.Errorf("Workers = %d, want 3", w)
+	}
+}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"sort"
+
+	"github.com/paper-repo/staccato-go/pkg/fst"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// Match is one query result: the probability that the document contains
+// the term under the Doc's retained distribution.
+type Match struct {
+	Term string
+	Prob float64
+}
+
+// Eval evaluates each term against the document and returns matches sorted
+// by descending probability (ties broken by term).
+//
+// Deprecated: compile each term once with Term (or Substring/Keyword) and
+// reuse the Query across documents; recompiling per call is what this
+// wrapper costs you.
+func Eval(d *staccato.Doc, terms []string, mode Mode) ([]Match, error) {
+	out := make([]Match, 0, len(terms))
+	for _, t := range terms {
+		q, err := newTerm(t, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Match{Term: t, Prob: q.Eval(d)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out, nil
+}
+
+// SubstringProb returns the probability that the document text contains
+// term as a substring.
+//
+// Deprecated: use Substring once and (*Query).Eval per document.
+func SubstringProb(d *staccato.Doc, term string) (float64, error) {
+	q, err := Substring(term)
+	if err != nil {
+		return 0, err
+	}
+	return q.Eval(d), nil
+}
+
+// KeywordProb returns the probability that the document text contains term
+// as a whole token.
+//
+// Deprecated: use Keyword once and (*Query).Eval per document.
+func KeywordProb(d *staccato.Doc, term string) (float64, error) {
+	q, err := Keyword(term)
+	if err != nil {
+		return 0, err
+	}
+	return q.Eval(d), nil
+}
+
+// FSTSubstringProb computes the exact probability that the string emitted
+// by the transducer contains term.
+//
+// Deprecated: use Substring once and (*Query).EvalFST, which also supports
+// keyword mode and boolean combinations.
+func FSTSubstringProb(f *fst.SFST, term string) (float64, error) {
+	q, err := Substring(term)
+	if err != nil {
+		return 0, err
+	}
+	return q.EvalFST(f)
+}

@@ -1,29 +1,44 @@
 // Package query answers probabilistic text queries over Staccato
 // documents. Instead of matching against one string, a query computes the
-// probability that the document's true text contains the term, summing
+// probability that the document's true text satisfies a predicate, summing
 // over the readings the Doc retains — including readings whose match spans
 // a chunk boundary.
 //
-// Evaluation is dynamic programming across the chunk path sets: the query
-// term is compiled to a small deterministic automaton, and a probability
-// distribution over automaton states is pushed through the chunks in one
-// left-to-right pass. The cost is O(chunks × k × |alt| × states), linear
-// in the document regardless of how many full readings (k^chunks) the Doc
-// encodes.
+// The unit of the API is the compiled Query: an immutable value built from
+// Substring and Keyword leaves combined with And, Or, and Not. Each leaf
+// term is compiled once to a small deterministic automaton; the Query can
+// then be evaluated against any number of documents, from any number of
+// goroutines, without recompiling.
 //
-// For ground truth, FSTSubstringProb evaluates the same query exactly on
-// the unapproximated SFST by running the automaton over the transducer's
-// state graph — the "FullSFST" baseline of the paper, and the upper bound
-// the Staccato dial converges to as chunks decrease and k grows.
+// Evaluation is dynamic programming across the chunk path sets: a
+// probability distribution over automaton states is pushed through the
+// chunks in one left-to-right pass, so cost is linear in the document
+// regardless of how many full readings (k^chunks) the Doc encodes. Boolean
+// queries run the DP over the product of the leaf automata, which keeps
+// the correlations between terms that flow through shared readings —
+// P(a AND b) is in general NOT P(a)·P(b), because the same alternative may
+// contain both terms (positive correlation) or terms may live on mutually
+// exclusive alternatives (negative correlation). The product DP gets those
+// cases right where naive per-term multiplication does not.
+//
+// For ground truth, Query.EvalFST evaluates the same predicate exactly on
+// the unapproximated SFST by running the product automaton over the
+// transducer's state graph — the "FullSFST" baseline of the paper, and the
+// upper bound the Staccato dial converges to as chunks decrease and k
+// grows.
+//
+// Corpus-scale execution lives in Engine, which runs one compiled Query
+// against every document in a store.DocStore through a worker pool and
+// streams ranked Results.
+//
+// The free functions Eval, SubstringProb, KeywordProb, and
+// FSTSubstringProb predate the Query type and are retained as deprecated
+// thin wrappers for one release.
 package query
 
 import (
 	"fmt"
-	"sort"
-
-	"github.com/paper-repo/staccato-go/internal/core"
-	"github.com/paper-repo/staccato-go/pkg/fst"
-	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"strings"
 )
 
 // Mode selects how a term must occur in the document text.
@@ -38,150 +53,244 @@ const (
 	ModeKeyword
 )
 
-// Match is one query result: the probability that the document contains
-// the term under the Doc's retained distribution.
-type Match struct {
-	Term string
-	Prob float64
+// Query is a compiled boolean predicate over document text. Leaves are
+// built with Substring and Keyword; composites with And, Or, and Not. A
+// Query is immutable after construction and safe for concurrent use —
+// compile once, evaluate everywhere.
+type Query struct {
+	leaves []leaf
+	expr   expr
 }
 
-// Eval evaluates each term against the document and returns matches sorted
-// by descending probability (ties broken by term).
-func Eval(d *staccato.Doc, terms []string, mode Mode) ([]Match, error) {
-	out := make([]Match, 0, len(terms))
-	for _, t := range terms {
-		a, err := compile(t, mode)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Match{Term: t, Prob: evalDoc(d, a)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
-		}
-		return out[i].Term < out[j].Term
-	})
-	return out, nil
+// leaf is one compiled term automaton. Duplicate (term, mode) pairs are
+// shared when queries are combined, so a term appearing in several
+// branches is tracked by a single automaton during evaluation.
+type leaf struct {
+	term string
+	mode Mode
+	auto automaton
 }
 
-// SubstringProb returns the probability that the document text contains
-// term as a substring.
-func SubstringProb(d *staccato.Doc, term string) (float64, error) {
-	a, err := compile(term, ModeSubstring)
+// Substring compiles a query matching documents whose text contains term
+// anywhere.
+func Substring(term string) (*Query, error) { return newTerm(term, ModeSubstring) }
+
+// Keyword compiles a query matching documents whose text contains term as
+// a whole token delimited by non-word characters or the document edges.
+// The term must consist of word characters only.
+func Keyword(term string) (*Query, error) { return newTerm(term, ModeKeyword) }
+
+// Term compiles a single-term query in the given mode.
+func Term(term string, mode Mode) (*Query, error) { return newTerm(term, mode) }
+
+func newTerm(term string, mode Mode) (*Query, error) {
+	a, err := compile(term, mode)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return evalDoc(d, a), nil
+	return &Query{
+		leaves: []leaf{{term: term, mode: mode, auto: a}},
+		expr:   leafExpr(0),
+	}, nil
 }
 
-// KeywordProb returns the probability that the document text contains term
-// as a whole token.
-func KeywordProb(d *staccato.Doc, term string) (float64, error) {
-	a, err := compile(term, ModeKeyword)
-	if err != nil {
-		return 0, err
+// And returns the conjunction of the given queries: the document must
+// satisfy every operand. Correlations between operands through shared
+// readings are respected. A nil or zero-value operand is treated as a
+// query that matches nothing.
+func And(first *Query, rest ...*Query) *Query { return combine(opAnd, first, rest) }
+
+// Or returns the disjunction of the given queries: the document must
+// satisfy at least one operand. A nil or zero-value operand is treated
+// as a query that matches nothing.
+func Or(first *Query, rest ...*Query) *Query { return combine(opOr, first, rest) }
+
+// Not returns the negation of q: the probability that the document does
+// NOT satisfy q. A nil or zero-value q matches nothing, so its negation
+// matches everything.
+func Not(q *Query) *Query {
+	out := &Query{}
+	if q != nil {
+		out.leaves = append([]leaf(nil), q.leaves...)
 	}
-	return evalDoc(d, a), nil
+	out.expr = notExpr{exprOf(q)}
+	return out
 }
 
-// evalDoc pushes a distribution over automaton states through the chunks.
-// Mass that reaches the accepting condition is absorbed into matched; the
-// remainder carries partial-match state across chunk boundaries, which is
-// how matches spanning two chunks are credited.
-func evalDoc(d *staccato.Doc, a automaton) float64 {
-	vec := make([]float64, a.numStates())
-	vec[a.start()] = 1
-	matched := 0.0
-	for _, ch := range d.Chunks {
-		next := make([]float64, len(vec))
-		for q, p := range vec {
-			if p == 0 {
-				continue
-			}
-			for _, alt := range ch.Alts {
-				q2, hit := runString(a, q, alt.Text)
-				if hit {
-					matched += p * alt.Prob
-				} else {
-					next[q2] += p * alt.Prob
-				}
-			}
-		}
-		vec = next
+// exprOf returns q's formula, mapping nil and zero-value (never
+// compiled) queries to the constant-false predicate so the combinators
+// honor the documented "matches nothing" semantics instead of carrying
+// a nil expr into evaluation.
+func exprOf(q *Query) expr {
+	if q == nil || q.expr == nil {
+		return constExpr(false)
 	}
-	for q, p := range vec {
-		if p > 0 && a.acceptAtEnd(q) {
-			matched += p
-		}
-	}
-	return matched
+	return q.expr
 }
 
-// runString advances the automaton over s from state q, reporting a match
-// as soon as one completes (matching is absorbing for "contains" queries).
-func runString(a automaton, q int, s string) (int, bool) {
-	for _, r := range s {
-		var hit bool
-		q, hit = a.step(q, r)
-		if hit {
-			return q, true
-		}
+type opKind int
+
+const (
+	opAnd opKind = iota
+	opOr
+)
+
+func combine(op opKind, first *Query, rest []*Query) *Query {
+	out := &Query{}
+	if first != nil {
+		out.leaves = append([]leaf(nil), first.leaves...)
 	}
-	return q, false
+	kids := make([]expr, 0, 1+len(rest))
+	kids = append(kids, exprOf(first))
+	for _, q := range rest {
+		kids = append(kids, out.merge(q))
+	}
+	if len(kids) == 1 {
+		out.expr = kids[0]
+		return out
+	}
+	if op == opAnd {
+		out.expr = andExpr(kids)
+	} else {
+		out.expr = orExpr(kids)
+	}
+	return out
 }
 
-// FSTSubstringProb computes the exact probability that the string emitted
-// by the transducer contains term, without materializing any paths: the
-// matching automaton runs directly over the SFST's state graph, with a
-// probability vector over (fst state × automaton state). Polynomial in the
-// transducer size even when the path count is astronomical.
-func FSTSubstringProb(f *fst.SFST, term string) (float64, error) {
-	a, err := compile(term, ModeSubstring)
-	if err != nil {
-		return 0, err
+// merge folds src's leaves into q, sharing automata for (term, mode) pairs
+// q already tracks, and returns src's formula rewritten against q's leaf
+// numbering.
+func (q *Query) merge(src *Query) expr {
+	if src == nil || src.expr == nil {
+		return constExpr(false)
 	}
-	n := f.NumStates()
-	m := a.numStates()
-	mass := make([][]float64, n)
-	for i := range mass {
-		mass[i] = make([]float64, m)
+	to := make([]int, len(src.leaves))
+	for i, lf := range src.leaves {
+		j := -1
+		for k, have := range q.leaves {
+			if have.term == lf.term && have.mode == lf.mode {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			j = len(q.leaves)
+			q.leaves = append(q.leaves, lf)
+		}
+		to[i] = j
 	}
-	hitMass := make([]float64, n)
-	mass[0][a.start()] = 1
+	return src.expr.remap(to)
+}
 
-	var matchedTotal, total float64
-	for s := 0; s < n; s++ {
-		if f.IsFinal(fst.StateID(s)) {
-			matchedTotal += hitMass[s]
-			total += hitMass[s]
-			for _, p := range mass[s] {
-				total += p
-			}
-		}
-		for _, arc := range f.Arcs(fst.StateID(s)) {
-			p := core.ProbFromWeight(arc.Weight)
-			to := arc.To
-			hitMass[to] += hitMass[s] * p
-			for q, pq := range mass[s] {
-				if pq == 0 {
-					continue
-				}
-				if arc.Label == fst.Epsilon {
-					mass[to][q] += pq * p
-					continue
-				}
-				q2, hit := a.step(q, arc.Label)
-				if hit {
-					hitMass[to] += pq * p
-				} else {
-					mass[to][q2] += pq * p
-				}
-			}
+// String renders the query in a lisp-ish form, e.g.
+// and(substr("foo"), not(kw("bar"))). A zero-value Query renders as
+// "false", matching its matches-nothing evaluation semantics.
+func (q *Query) String() string {
+	var sb strings.Builder
+	exprOf(q).render(&sb, q.leaves)
+	return sb.String()
+}
+
+// NumTerms returns the number of distinct compiled term automata the query
+// tracks during evaluation.
+func (q *Query) NumTerms() int { return len(q.leaves) }
+
+// expr is a boolean formula over leaf indices. Nodes are immutable and may
+// be shared freely between Queries.
+type expr interface {
+	// eval decides the formula given each leaf's matched bit.
+	eval(bits []bool) bool
+	// remap returns a copy of the formula with leaf i renumbered to to[i].
+	remap(to []int) expr
+	// render appends a human-readable form to sb.
+	render(sb *strings.Builder, leaves []leaf)
+}
+
+// constExpr is a constant predicate; it appears only where a nil or
+// zero-value Query was handed to a combinator.
+type constExpr bool
+
+func (e constExpr) eval([]bool) bool { return bool(e) }
+func (e constExpr) remap([]int) expr { return e }
+func (e constExpr) render(sb *strings.Builder, _ []leaf) {
+	if e {
+		sb.WriteString("true")
+	} else {
+		sb.WriteString("false")
+	}
+}
+
+type leafExpr int
+
+func (e leafExpr) eval(bits []bool) bool { return bits[e] }
+func (e leafExpr) remap(to []int) expr   { return leafExpr(to[e]) }
+func (e leafExpr) render(sb *strings.Builder, leaves []leaf) {
+	lf := leaves[e]
+	if lf.mode == ModeKeyword {
+		fmt.Fprintf(sb, "kw(%q)", lf.term)
+	} else {
+		fmt.Fprintf(sb, "substr(%q)", lf.term)
+	}
+}
+
+type andExpr []expr
+
+func (e andExpr) eval(bits []bool) bool {
+	for _, kid := range e {
+		if !kid.eval(bits) {
+			return false
 		}
 	}
-	if total == 0 {
-		return 0, fmt.Errorf("query: transducer has no accepting mass")
+	return true
+}
+
+func (e andExpr) remap(to []int) expr { return andExpr(remapAll(e, to)) }
+func (e andExpr) render(sb *strings.Builder, leaves []leaf) {
+	renderList(sb, "and", e, leaves)
+}
+
+type orExpr []expr
+
+func (e orExpr) eval(bits []bool) bool {
+	for _, kid := range e {
+		if kid.eval(bits) {
+			return true
+		}
 	}
-	return matchedTotal / total, nil
+	return false
+}
+
+func (e orExpr) remap(to []int) expr { return orExpr(remapAll(e, to)) }
+func (e orExpr) render(sb *strings.Builder, leaves []leaf) {
+	renderList(sb, "or", e, leaves)
+}
+
+type notExpr struct{ sub expr }
+
+func (e notExpr) eval(bits []bool) bool { return !e.sub.eval(bits) }
+func (e notExpr) remap(to []int) expr   { return notExpr{e.sub.remap(to)} }
+func (e notExpr) render(sb *strings.Builder, leaves []leaf) {
+	sb.WriteString("not(")
+	e.sub.render(sb, leaves)
+	sb.WriteString(")")
+}
+
+func remapAll(kids []expr, to []int) []expr {
+	out := make([]expr, len(kids))
+	for i, kid := range kids {
+		out[i] = kid.remap(to)
+	}
+	return out
+}
+
+func renderList(sb *strings.Builder, name string, kids []expr, leaves []leaf) {
+	sb.WriteString(name)
+	sb.WriteString("(")
+	for i, kid := range kids {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		kid.render(sb, leaves)
+	}
+	sb.WriteString(")")
 }

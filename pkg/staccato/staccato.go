@@ -81,6 +81,39 @@ func (d *Doc) MAP() string {
 	return string(out)
 }
 
+// NumReadings returns how many complete readings the document encodes —
+// the product of the per-chunk alternative counts — as a float64, because
+// the count grows exponentially with the chunk count.
+func (d *Doc) NumReadings() float64 {
+	n := 1.0
+	for _, c := range d.Chunks {
+		n *= float64(len(c.Alts))
+	}
+	return n
+}
+
+// Readings enumerates every complete reading of the document with its
+// probability under the product distribution, in lexicographic chunk-major
+// order (the first chunk's alternatives vary slowest). Enumeration is
+// exponential in the chunk count — check NumReadings before calling this
+// on anything but small documents. fn returning false stops the
+// enumeration early.
+func (d *Doc) Readings(fn func(text string, prob float64) bool) {
+	var rec func(i int, prefix string, p float64) bool
+	rec = func(i int, prefix string, p float64) bool {
+		if i == len(d.Chunks) {
+			return fn(prefix, p)
+		}
+		for _, alt := range d.Chunks[i].Alts {
+			if !rec(i+1, prefix+alt.Text, p*alt.Prob) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, "", 1)
+}
+
 // Build runs the full approximation pipeline: split f into at most
 // numChunks chunks and keep the top k paths in each, returning the
 // assembled Doc. It is the one-call form of Chunk followed by TopK.

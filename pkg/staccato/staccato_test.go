@@ -366,3 +366,73 @@ func docContainsProb(t *testing.T, doc *staccato.Doc, probe string) float64 {
 	cross(0, "", 1)
 	return total
 }
+
+func TestNumReadingsAndReadings(t *testing.T) {
+	d := &staccato.Doc{
+		ID: "r",
+		Chunks: []staccato.PathSet{
+			{Alts: []staccato.Alt{{Text: "a", Prob: 0.7}, {Text: "b", Prob: 0.3}}, Retained: 1},
+			{Alts: []staccato.Alt{{Text: "x", Prob: 0.6}, {Text: "y", Prob: 0.4}}, Retained: 1},
+		},
+	}
+	if n := d.NumReadings(); n != 4 {
+		t.Fatalf("NumReadings = %v, want 4", n)
+	}
+	got := map[string]float64{}
+	var sum float64
+	d.Readings(func(text string, prob float64) bool {
+		got[text] += prob
+		sum += prob
+		return true
+	})
+	want := map[string]float64{"ax": 0.42, "ay": 0.28, "bx": 0.18, "by": 0.12}
+	for text, p := range want {
+		if math.Abs(got[text]-p) > 1e-12 {
+			t.Errorf("P(%q) = %v, want %v", text, got[text], p)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("readings sum to %v, want 1", sum)
+	}
+}
+
+func TestReadingsEarlyStop(t *testing.T) {
+	d := &staccato.Doc{
+		ID: "r",
+		Chunks: []staccato.PathSet{
+			{Alts: []staccato.Alt{{Text: "a", Prob: 0.5}, {Text: "b", Prob: 0.5}}, Retained: 1},
+			{Alts: []staccato.Alt{{Text: "x", Prob: 0.5}, {Text: "y", Prob: 0.5}}, Retained: 1},
+		},
+	}
+	var n int
+	d.Readings(func(string, float64) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("enumeration visited %d readings after stop, want 2", n)
+	}
+}
+
+// TestReadingsAgreeWithBuild cross-checks enumeration on a generated doc:
+// the reading set must carry the per-chunk product probabilities.
+func TestReadingsAgreeWithBuild(t *testing.T) {
+	_, f := testgen.MustGenerate(testgen.Config{Length: 10, Seed: 6})
+	d, err := staccato.Build(f, "d", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0.0
+	sum := 0.0
+	d.Readings(func(_ string, prob float64) bool {
+		count++
+		sum += prob
+		return true
+	})
+	if count != d.NumReadings() {
+		t.Errorf("enumerated %v readings, NumReadings says %v", count, d.NumReadings())
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("readings sum to %v, want 1 (PathSet alts are normalized)", sum)
+	}
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"context"
+
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// Count returns the number of documents in the store. It is built on Scan
+// so it works against any DocStore; backends that can count cheaply (such
+// as MemStore.Len) can be used directly when the concrete type is known.
+func Count(ctx context.Context, st DocStore) (int, error) {
+	n := 0
+	err := st.Scan(ctx, func(*staccato.Doc) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ListIDs returns the IDs of up to limit documents in ascending order;
+// limit <= 0 returns every ID. Early termination goes through ErrStopScan,
+// so a backend stops scanning (and decoding) as soon as the limit is
+// reached.
+func ListIDs(ctx context.Context, st DocStore, limit int) ([]string, error) {
+	var ids []string
+	err := st.Scan(ctx, func(d *staccato.Doc) error {
+		ids = append(ids, d.ID)
+		if limit > 0 && len(ids) >= limit {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench_engine.sh — run the engine throughput benchmark and emit
+# BENCH_engine.json with ns/op at 1, 4, and 8 workers, so each CI run
+# leaves a machine-readable point on the perf trajectory.
+#
+# Usage: scripts/bench_engine.sh [output.json]
+#   BENCHTIME=20x scripts/bench_engine.sh   # override iteration count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_engine.json}"
+benchtime="${BENCHTIME:-10x}"
+
+raw=$(go test ./pkg/query -run '^$' -bench 'BenchmarkEngineSearch' \
+	-benchtime "$benchtime" -count 1)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out_file" '
+	/^BenchmarkEngineSearch\// {
+		# BenchmarkEngineSearch/workers=4-8   13   86342 ns/op ...
+		split($1, path, "/")
+		sub(/^workers=/, "", path[2])
+		sub(/-[0-9]+$/, "", path[2])
+		ns[path[2]] = $3
+	}
+	END {
+		if (!("1" in ns) || !("4" in ns) || !("8" in ns)) {
+			print "bench_engine.sh: missing worker variant in benchmark output" > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n  \"benchmark\": \"EngineSearch\",\n  \"unit\": \"ns/op\",\n  \"workers_1\": %s,\n  \"workers_4\": %s,\n  \"workers_8\": %s\n}\n", ns["1"], ns["4"], ns["8"] > out
+	}
+'
+echo "wrote $out_file:"
+cat "$out_file"
