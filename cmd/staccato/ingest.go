@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/store/diskstore"
+)
+
+// ingestConfig carries everything the ingest subcommand needs, so tests
+// can drive runIngest without a command line.
+type ingestConfig struct {
+	store   string
+	docs    int
+	length  int
+	seed    int64
+	chunks  int
+	k       int
+	batch   int
+	compact bool
+	noSync  bool
+}
+
+// ingestReport captures the deterministic part of an ingest run.
+type ingestReport struct {
+	ingested int
+	stats    diskstore.Stats
+}
+
+func ingestMain(w io.Writer, args []string) error {
+	fs := newFlagSet("ingest", "ingest -store DIR [flags]",
+		"generate a synthetic OCR corpus and persist it into a disk store")
+	cfg := ingestConfig{}
+	fs.StringVar(&cfg.store, "store", "", "directory of the disk store to ingest into (required)")
+	fs.IntVar(&cfg.docs, "docs", 1000, "number of synthetic documents to ingest")
+	fs.IntVar(&cfg.length, "len", 60, "ground truth length of each document")
+	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the corpus")
+	fs.IntVar(&cfg.chunks, "chunks", 6, "chunks per document (the dial's first knob)")
+	fs.IntVar(&cfg.k, "k", 3, "paths kept per chunk (the dial's second knob)")
+	fs.IntVar(&cfg.batch, "batch", 256, "documents committed (and fsynced) per write batch")
+	fs.BoolVar(&cfg.compact, "compact", false, "compact the store after ingesting")
+	fs.BoolVar(&cfg.noSync, "nosync", false, "skip fsync on commit (faster; an OS crash may lose recent batches)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("ingest: unexpected argument %q (ingest takes only flags)", fs.Arg(0))
+	}
+	_, err := runIngest(w, cfg)
+	return err
+}
+
+// runIngest streams the synthetic corpus into a disk store, committing
+// one batch — one fsync — per cfg.batch documents.
+func runIngest(w io.Writer, cfg ingestConfig) (ingestReport, error) {
+	var rep ingestReport
+	if cfg.store == "" {
+		return rep, fmt.Errorf("ingest: -store DIR is required")
+	}
+	if cfg.docs < 1 {
+		return rep, fmt.Errorf("ingest: -docs must be >= 1, got %d", cfg.docs)
+	}
+	if cfg.batch < 1 {
+		return rep, fmt.Errorf("ingest: -batch must be >= 1, got %d", cfg.batch)
+	}
+	ctx := context.Background()
+
+	st, err := diskstore.Open(cfg.store, diskstore.Options{NoSync: cfg.noSync})
+	if err != nil {
+		return rep, err
+	}
+	defer st.Close()
+
+	start := time.Now()
+	b := st.Batch()
+	err = testgen.EachDoc(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k,
+		func(dc testgen.DocCase) error {
+			if err := b.Put(dc.Doc); err != nil {
+				return err
+			}
+			rep.ingested++
+			if b.Len() >= cfg.batch {
+				return b.Commit(ctx)
+			}
+			return nil
+		})
+	if err != nil {
+		return rep, err
+	}
+	if err := b.Commit(ctx); err != nil {
+		return rep, err
+	}
+	elapsed := time.Since(start)
+
+	if cfg.compact {
+		compactStart := time.Now()
+		if err := st.Compact(ctx); err != nil {
+			return rep, err
+		}
+		fmt.Fprintf(w, "compacted in %v\n", time.Since(compactStart).Round(time.Millisecond))
+	}
+	rep.stats = st.Stats()
+	fmt.Fprintf(w, "ingested %d docs (len=%d chunks=%d k=%d batch=%d) into %s in %v",
+		rep.ingested, cfg.length, cfg.chunks, cfg.k, cfg.batch, cfg.store, elapsed.Round(time.Millisecond))
+	if elapsed > 0 {
+		fmt.Fprintf(w, " (%.0f docs/s)", float64(rep.ingested)/elapsed.Seconds())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "store: %d live docs, %d segments, %.1f KiB on disk\n",
+		rep.stats.Docs, rep.stats.Segments, float64(rep.stats.DiskBytes)/1024)
+	return rep, nil
+}

@@ -1,7 +1,8 @@
-// Command staccato demonstrates the Staccato pipeline. It has two
+// Command staccato demonstrates the Staccato pipeline. It has three
 // subcommands:
 //
 //	staccato demo [flags]            single-document walkthrough (default)
+//	staccato ingest -store DIR       persist a synthetic corpus to disk
 //	staccato search [flags] TERM...  corpus search with the parallel engine
 //
 // demo generates one synthetic OCR transducer, builds approximated
@@ -14,13 +15,20 @@
 // With no -term, the demo searches for a ground-truth substring that the
 // MAP string lost and reports the probability Staccato recovers for it.
 //
-// search ingests a whole synthetic corpus into a DocStore and runs one
-// compiled boolean query against every document through the worker-pool
-// Engine, printing the ranked matches:
+// ingest streams a synthetic corpus into a durable disk store, batching
+// many documents per fsync:
 //
-//	staccato search [-docs N] [-workers N] [-top N] [-minprob P]
-//	                [-mode substring|keyword] [-combine and|or] [-not TERM]
-//	                TERM...
+//	staccato ingest -store DIR [-docs N] [-len N] [-seed N] [-chunks N]
+//	                [-k N] [-batch N] [-compact] [-nosync]
+//
+// search runs one compiled boolean query against every document of a
+// corpus through the worker-pool Engine, printing the ranked matches.
+// The corpus is either synthetic and in-memory (-docs) or a directory
+// previously written by ingest (-store); exactly one must be given:
+//
+//	staccato search {-docs N | -store DIR} [-workers N] [-top N]
+//	                [-minprob P] [-mode substring|keyword]
+//	                [-combine and|or] [-not TERM] TERM...
 package main
 
 import (
@@ -62,12 +70,26 @@ type report struct {
 // usage) on stderr; main must not print it a second time.
 var errFlagParse = errors.New("invalid command line")
 
+// newFlagSet builds a subcommand FlagSet whose -h/usage output follows
+// one shape for every subcommand: a usage line, a one-sentence synopsis,
+// then the flag table.
+func newFlagSet(name, usage, synopsis string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: staccato %s\n  %s\n", usage, synopsis)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
 func main() {
 	args := os.Args[1:]
 	var err error
 	switch {
 	case len(args) > 0 && args[0] == "search":
 		err = searchMain(os.Stdout, args[1:])
+	case len(args) > 0 && args[0] == "ingest":
+		err = ingestMain(os.Stdout, args[1:])
 	case len(args) > 0 && args[0] == "demo":
 		err = demoMain(os.Stdout, args[1:])
 	default:
@@ -84,7 +106,8 @@ func main() {
 }
 
 func demoMain(w io.Writer, args []string) error {
-	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	fs := newFlagSet("demo", "[demo] [flags]",
+		"single-document walkthrough: build, approximate, store, and query one synthetic OCR document")
 	cfg := config{}
 	fs.Int64Var(&cfg.seed, "seed", 42, "PRNG seed for the synthetic document")
 	fs.IntVar(&cfg.length, "len", 200, "ground truth length in characters")
@@ -102,7 +125,7 @@ func demoMain(w io.Writer, args []string) error {
 	// The demo takes no positional arguments; rejecting them catches a
 	// mistyped subcommand before it silently runs the default demo.
 	if fs.NArg() > 0 {
-		return fmt.Errorf("demo: unexpected argument %q (subcommands are demo and search)", fs.Arg(0))
+		return fmt.Errorf("demo: unexpected argument %q (subcommands are demo, ingest, and search)", fs.Arg(0))
 	}
 	_, err := run(w, cfg)
 	return err

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -156,6 +159,159 @@ func TestSearchKeywordQueryString(t *testing.T) {
 	want := `and(or(kw("foo"), kw("bar")), not(kw("bad")))`
 	if rep.query != want {
 		t.Errorf("query = %s, want %s", rep.query, want)
+	}
+}
+
+// TestIngestSearchParityWithMemStore is the CLI acceptance scenario: a
+// corpus ingested into a directory store and reopened by search -store
+// must return byte-identical ranked results to the same corpus queried
+// through the synthetic MemStore path — including after a simulated torn
+// write to the store's last segment.
+func TestIngestSearchParityWithMemStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	icfg := ingestConfig{store: dir, docs: 40, length: 40, seed: 5, chunks: 5, k: 3, batch: 7}
+	var iout strings.Builder
+	irep, err := runIngest(&iout, icfg)
+	if err != nil {
+		t.Fatalf("runIngest: %v\noutput:\n%s", err, iout.String())
+	}
+	if irep.ingested != icfg.docs || irep.stats.Docs != icfg.docs {
+		t.Fatalf("ingested %d docs, stats %d, want %d", irep.ingested, irep.stats.Docs, icfg.docs)
+	}
+
+	base := searchConfig{
+		length: 40, seed: 5, chunks: 5, k: 3,
+		workers: 4, top: 15, mode: "substring", combine: "or",
+		terms: []string{"e", "a"},
+	}
+	memCfg := base
+	memCfg.docs = icfg.docs
+	memRep, err := runSearch(&strings.Builder{}, memCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memRep.results) == 0 {
+		t.Fatal("mem search matched nothing; broaden the test terms")
+	}
+	diskCfg := base
+	diskCfg.store = dir
+	diskRep, err := runSearch(&strings.Builder{}, diskCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(diskRep, memRep) {
+		t.Fatalf("search -store report differs from -docs report:\n disk %+v\n mem  %+v", diskRep, memRep)
+	}
+
+	// Simulate a torn write: append a partial record to the last segment.
+	// Reopening must truncate it away and the results must not change.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files (err=%v)", err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0x99}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tornRep, err := runSearch(&strings.Builder{}, diskCfg)
+	if err != nil {
+		t.Fatalf("runSearch after torn write: %v", err)
+	}
+	if !reflect.DeepEqual(tornRep, memRep) {
+		t.Fatalf("post-torn-write results differ:\n disk %+v\n mem  %+v", tornRep, memRep)
+	}
+}
+
+// TestSearchCorpusSourceValidation is the flag-ergonomics contract:
+// search must fail with a clear error — not a panic or a usage dump —
+// when -docs and -store are both or neither given.
+func TestSearchCorpusSourceValidation(t *testing.T) {
+	if _, err := runSearch(&strings.Builder{}, searchConfig{
+		docs: 10, store: "somewhere", mode: "substring", combine: "and", terms: []string{"x"},
+	}); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("both -docs and -store: err = %v, want mutually-exclusive error", err)
+	}
+	if _, err := runSearch(&strings.Builder{}, searchConfig{
+		mode: "substring", combine: "and", terms: []string{"x"},
+	}); err == nil || !strings.Contains(err.Error(), "no corpus") {
+		t.Errorf("neither -docs nor -store: err = %v, want no-corpus error", err)
+	}
+	// Through the real flag path too: a clean error, not errFlagParse
+	// (which would mean the FlagSet dumped usage).
+	err := searchMain(&strings.Builder{}, []string{"hello"})
+	if err == nil || err == errFlagParse {
+		t.Errorf("searchMain with no corpus flags: err = %v, want a descriptive error", err)
+	}
+	// Synthetic-corpus shape flags are meaningless against -store and must
+	// be rejected, not silently ignored.
+	err = searchMain(&strings.Builder{}, []string{"-store", "somewhere", "-k", "8", "x"})
+	if err == nil || !strings.Contains(err.Error(), "-k") {
+		t.Errorf("searchMain with -store and -k: err = %v, want a stray-flag error naming -k", err)
+	}
+}
+
+// TestSearchStoreMissingPath: a typo'd -store path must error and must
+// not leave a freshly-initialized store behind.
+func TestSearchStoreMissingPath(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-corpus")
+	_, err := runSearch(&strings.Builder{}, searchConfig{
+		store: missing, mode: "substring", combine: "and", terms: []string{"x"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no store at") {
+		t.Errorf("search on missing store path: err = %v, want a no-store error", err)
+	}
+	if _, statErr := os.Stat(missing); !os.IsNotExist(statErr) {
+		t.Errorf("search created %s as a side effect (stat err=%v)", missing, statErr)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	if _, err := runIngest(&strings.Builder{}, ingestConfig{docs: 5, batch: 4}); err == nil {
+		t.Error("ingest accepted an empty -store")
+	}
+	if _, err := runIngest(&strings.Builder{}, ingestConfig{store: "x", docs: 0, batch: 4}); err == nil {
+		t.Error("ingest accepted -docs 0")
+	}
+	if _, err := runIngest(&strings.Builder{}, ingestConfig{store: "x", docs: 5, batch: 0}); err == nil {
+		t.Error("ingest accepted -batch 0")
+	}
+	if err := ingestMain(&strings.Builder{}, []string{"stray"}); err == nil {
+		t.Error("ingest accepted a positional argument")
+	}
+}
+
+// TestIngestIsIdempotent re-ingests the same corpus into the same store
+// and checks document count is unchanged (puts supersede, not duplicate),
+// then compacts away the superseded records.
+func TestIngestIsIdempotent(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	cfg := ingestConfig{store: dir, docs: 12, length: 30, seed: 3, chunks: 4, k: 2, batch: 5}
+	if _, err := runIngest(&strings.Builder{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	first, err := runIngest(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.stats.Docs != cfg.docs {
+		t.Errorf("after re-ingest: %d live docs, want %d", first.stats.Docs, cfg.docs)
+	}
+	cfg.compact = true
+	again, err := runIngest(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.stats.Docs != cfg.docs {
+		t.Errorf("after compacting ingest: %d live docs, want %d", again.stats.Docs, cfg.docs)
+	}
+	if again.stats.DiskBytes >= first.stats.DiskBytes {
+		t.Errorf("compaction did not reclaim space: %d -> %d bytes", first.stats.DiskBytes, again.stats.DiskBytes)
 	}
 }
 

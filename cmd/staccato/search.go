@@ -6,18 +6,24 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/paper-repo/staccato-go/internal/testgen"
 	"github.com/paper-repo/staccato-go/pkg/query"
 	"github.com/paper-repo/staccato-go/pkg/store"
+	"github.com/paper-repo/staccato-go/pkg/store/diskstore"
 )
 
 // searchConfig carries everything the search subcommand needs, so tests
-// can drive runSearch without a command line.
+// can drive runSearch without a command line. Exactly one of docs
+// (synthetic in-memory corpus) and store (persisted corpus directory)
+// selects where the documents come from.
 type searchConfig struct {
 	docs    int
+	store   string
 	length  int
 	seed    int64
 	chunks  int
@@ -39,9 +45,11 @@ type searchReport struct {
 }
 
 func searchMain(w io.Writer, args []string) error {
-	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	fs := newFlagSet("search", "search [flags] TERM...",
+		"run one probabilistic boolean query over a corpus (synthetic via -docs, or persisted via -store)")
 	cfg := searchConfig{}
-	fs.IntVar(&cfg.docs, "docs", 100, "number of synthetic documents to ingest")
+	fs.IntVar(&cfg.docs, "docs", 0, "query a synthetic in-memory corpus of this many documents")
+	fs.StringVar(&cfg.store, "store", "", "query the disk store previously built by staccato ingest")
 	fs.IntVar(&cfg.length, "len", 60, "ground truth length of each document")
 	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the corpus")
 	fs.IntVar(&cfg.chunks, "chunks", 6, "chunks per document (the dial's first knob)")
@@ -64,6 +72,21 @@ func searchMain(w io.Writer, args []string) error {
 	for _, term := range cfg.terms {
 		if strings.HasPrefix(term, "-") {
 			return fmt.Errorf("search: term %q looks like a flag; place flags before the first term", term)
+		}
+	}
+	// The corpus-shape flags only parameterize the synthetic -docs corpus;
+	// with -store they would be silently ignored, so reject them loudly.
+	if cfg.store != "" {
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "len", "seed", "chunks", "k":
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("search: %s: this flag shapes only the synthetic -docs corpus; a -store corpus is already built (re-run ingest to change it)",
+				strings.Join(stray, " "))
 		}
 	}
 	_, err := runSearch(w, cfg)
@@ -112,8 +135,47 @@ func buildQuery(cfg searchConfig) (*query.Query, error) {
 	return q, nil
 }
 
-// runSearch ingests the synthetic corpus, runs one compiled query through
-// the parallel engine, and prints the ranked matches.
+// openCorpus resolves cfg's corpus source: a synthetic MemStore built on
+// the fly (-docs) or a persisted DiskStore (-store). It returns the
+// store, its document count, and a cleanup function.
+func openCorpus(w io.Writer, ctx context.Context, cfg searchConfig) (store.DocStore, int, func(), error) {
+	switch {
+	case cfg.docs > 0 && cfg.store != "":
+		return nil, 0, nil, fmt.Errorf("search: -docs and -store are mutually exclusive; pick one corpus source")
+	case cfg.docs <= 0 && cfg.store == "":
+		return nil, 0, nil, fmt.Errorf("search: no corpus given; use -docs N for a synthetic corpus or -store DIR for an ingested one")
+	case cfg.store != "":
+		// Open would initialize a fresh store on any path; a typo'd -store
+		// must be an error, not an empty corpus plus junk files on disk.
+		if _, err := os.Stat(filepath.Join(cfg.store, "MANIFEST")); err != nil {
+			return nil, 0, nil, fmt.Errorf("search: no store at %s (%w); run staccato ingest -store first", cfg.store, err)
+		}
+		openStart := time.Now()
+		st, err := diskstore.Open(cfg.store, diskstore.Options{})
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		stats := st.Stats()
+		fmt.Fprintf(w, "corpus: %d docs from %s (%d segments, %.1f KiB) opened in %v\n",
+			stats.Docs, cfg.store, stats.Segments, float64(stats.DiskBytes)/1024,
+			time.Since(openStart).Round(time.Millisecond))
+		return st, stats.Docs, func() { st.Close() }, nil
+	default:
+		ingestStart := time.Now()
+		st := store.NewMemStore()
+		err := testgen.EachDoc(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k,
+			func(dc testgen.DocCase) error { return st.Put(ctx, dc.Doc) })
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		fmt.Fprintf(w, "corpus: %d docs (len=%d chunks=%d k=%d) ingested in %v\n",
+			st.Len(), cfg.length, cfg.chunks, cfg.k, time.Since(ingestStart).Round(time.Millisecond))
+		return st, st.Len(), func() {}, nil
+	}
+}
+
+// runSearch opens the corpus, runs one compiled query through the
+// parallel engine, and prints the ranked matches.
 func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	var rep searchReport
 	q, err := buildQuery(cfg)
@@ -123,20 +185,12 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	rep.query = q.String()
 	ctx := context.Background()
 
-	ingestStart := time.Now()
-	cases, err := testgen.Docs(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k)
+	st, docCount, cleanup, err := openCorpus(w, ctx, cfg)
 	if err != nil {
 		return rep, err
 	}
-	st := store.NewMemStore()
-	for _, c := range cases {
-		if err := st.Put(ctx, c.Doc); err != nil {
-			return rep, err
-		}
-	}
-	rep.scanned = st.Len()
-	fmt.Fprintf(w, "corpus: %d docs (len=%d chunks=%d k=%d) ingested in %v\n",
-		st.Len(), cfg.length, cfg.chunks, cfg.k, time.Since(ingestStart).Round(time.Millisecond))
+	defer cleanup()
+	rep.scanned = docCount
 	fmt.Fprintf(w, "query: %s\n", rep.query)
 
 	eng := query.NewEngine(st, query.EngineOptions{Workers: cfg.workers})

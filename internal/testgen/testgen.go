@@ -160,22 +160,46 @@ type DocCase struct {
 	Doc   *staccato.Doc
 }
 
-// Docs builds a corpus of n Staccato documents at the (chunks, k) dial
-// setting: the i-th document is generated from cfg with seed cfg.Seed+i
-// and carries the ID "doc-%04d" (1-based), so corpus contents — and any
-// scan over them — are fully deterministic.
-func Docs(n int, cfg Config, chunks, k int) ([]DocCase, error) {
-	cases, err := Corpus(n, cfg)
-	if err != nil {
-		return nil, err
+// EachDoc streams the corpus Docs materializes, one document at a time:
+// the i-th document is generated from cfg with seed cfg.Seed+i and
+// carries the ID "doc-%04d" (1-based). Only one SFST and document are
+// alive at once, so corpus size is bounded by disk (the ingest path),
+// not memory. fn errors — including store.ErrStopScan-style sentinels —
+// abort generation and are returned as-is.
+func EachDoc(n int, cfg Config, chunks, k int, fn func(DocCase) error) error {
+	if n < 0 {
+		return fmt.Errorf("testgen: corpus size must be >= 0, got %d", n)
 	}
-	out := make([]DocCase, n)
-	for i, c := range cases {
-		d, err := staccato.Build(c.FST, fmt.Sprintf("doc-%04d", i+1), chunks, k)
+	cfg = cfg.withDefaults()
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		truth, f, err := Generate(c)
 		if err != nil {
-			return nil, fmt.Errorf("testgen: doc %d: %w", i+1, err)
+			return err
 		}
-		out[i] = DocCase{Truth: c.Truth, Doc: d}
+		d, err := staccato.Build(f, fmt.Sprintf("doc-%04d", i+1), chunks, k)
+		if err != nil {
+			return fmt.Errorf("testgen: doc %d: %w", i+1, err)
+		}
+		if err := fn(DocCase{Truth: truth, Doc: d}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Docs builds a corpus of n Staccato documents at the (chunks, k) dial
+// setting by collecting EachDoc's stream, so corpus contents — and any
+// scan over them — are fully deterministic and identical to what a
+// streamed ingest writes.
+func Docs(n int, cfg Config, chunks, k int) ([]DocCase, error) {
+	out := make([]DocCase, 0, max(n, 0))
+	if err := EachDoc(n, cfg, chunks, k, func(dc DocCase) error {
+		out = append(out, dc)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

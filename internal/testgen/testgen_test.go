@@ -122,6 +122,42 @@ func TestDocs(t *testing.T) {
 	}
 }
 
+// TestEachDocStreamsSameCorpus pins the ingest-path invariant: the
+// streamed corpus is element-for-element identical to the materialized
+// one, and a callback error aborts the stream immediately.
+func TestEachDocStreamsSameCorpus(t *testing.T) {
+	want, err := Docs(4, Config{Length: 25, Seed: 4}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []DocCase
+	if err := EachDoc(4, Config{Length: 25, Seed: 4}, 4, 2, func(dc DocCase) error {
+		got = append(got, dc)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("EachDoc stream differs from Docs corpus")
+	}
+
+	sentinel := fmt.Errorf("stop here")
+	calls := 0
+	err = EachDoc(4, Config{Length: 25, Seed: 4}, 4, 2, func(DocCase) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Errorf("EachDoc error = %v, want the callback's sentinel", err)
+	}
+	if calls != 2 {
+		t.Errorf("EachDoc made %d calls after an error at call 2", calls)
+	}
+}
+
 func TestCorpusRejectsNegativeSize(t *testing.T) {
 	if _, err := Corpus(-1, Config{}); err == nil {
 		t.Error("Corpus accepted a negative size")

@@ -1,0 +1,751 @@
+// Package diskstore implements a durable, disk-backed store.DocStore on
+// append-only segment files, so a corpus ingested once survives the
+// process and can be reopened and queried in place — the "manage OCR
+// data inside a database" half of the Staccato thesis.
+//
+// # On-disk layout
+//
+// A store is a directory:
+//
+//	MANIFEST            live segment numbers, in replay order
+//	seg-00000001.log    append-only records
+//	seg-00000002.log    ...
+//
+// Every record is framed as
+//
+//	uint32 payloadLen | uint32 crc32(payload) | payload
+//	payload = kind byte | uvarint len(id) | id | encoded doc (puts only)
+//
+// where the document bytes are the versioned store.Encode form shared by
+// every backend. Records are only ever appended; a Put of an existing ID
+// appends a superseding record and a Delete appends a tombstone. The
+// in-memory index (ID → segment, offset) is rebuilt by replaying the
+// segments in manifest order on Open, so the newest record for each ID
+// wins and disk holds no secondary structures that can desynchronize.
+//
+// # Crash safety
+//
+// A torn tail — a record whose frame is incomplete or whose checksum does
+// not match, from a crash mid-append — is detected during replay and
+// truncated away; only the torn record is lost. Manifest updates go
+// through write-temp-then-rename, so the set of live segments changes
+// atomically; segment files not named by the manifest are leftovers of an
+// interrupted Compact or roll and are deleted on Open. Batch groups many
+// writes into a single fsync, which is where ingest throughput comes from
+// (see the package benchmarks).
+package diskstore
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// ErrClosed is returned by every operation on a closed store.
+var ErrClosed = errors.New("diskstore: store is closed")
+
+const (
+	manifestName  = "MANIFEST"
+	manifestTemp  = "MANIFEST.tmp"
+	manifestMagic = "staccato-diskstore v1"
+	lockName      = "LOCK"
+	segPrefix     = "seg-"
+	segSuffix     = ".log"
+
+	recPut    = byte(1)
+	recDelete = byte(2)
+
+	frameHeaderSize = 8       // uint32 payload length + uint32 crc32
+	maxPayloadSize  = 1 << 30 // larger lengths mean a corrupt frame
+)
+
+// Options configure Open. The zero value is ready to use.
+type Options struct {
+	// MaxSegmentBytes rolls the active segment to a fresh file once it
+	// grows past this size (default 4 MiB). Smaller segments mean more
+	// files but finer-grained compaction.
+	MaxSegmentBytes int64
+	// NoSync skips the fsync that normally ends every commit. Throughput
+	// rises sharply; an OS crash (not a process crash) may lose the most
+	// recent commits. The record framing keeps the store openable either
+	// way.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// recordRef locates one live record's payload on disk.
+type recordRef struct {
+	seg uint64
+	off int64 // payload offset within the segment file
+	n   int   // payload length
+}
+
+// segment is one open append-only file.
+type segment struct {
+	num  uint64
+	f    *os.File
+	size int64
+}
+
+func segName(num uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, num, segSuffix)
+}
+
+// Store is a durable DocStore. It is safe for concurrent use: reads run
+// in parallel, writes are serialized.
+type Store struct {
+	dir  string
+	opts Options
+	lock *os.File // flock'd LOCK file; held for the store's lifetime
+
+	mu     sync.RWMutex
+	index  map[string]recordRef
+	segs   map[uint64]*segment
+	order  []uint64 // manifest order; last entry is the active segment
+	active *segment
+	closed bool
+}
+
+var _ store.DocStore = (*Store)(nil)
+
+// Open opens (creating if necessary) the store in dir and rebuilds the
+// in-memory index by replaying the live segments. Torn tails are
+// truncated; segment files the manifest does not name are removed. The
+// directory is flock'd for the store's lifetime (on platforms with
+// flock), so a second process opening the same store fails fast instead
+// of corrupting it.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		lock:  lock,
+		index: make(map[string]recordRef),
+		segs:  make(map[uint64]*segment),
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			s.closeSegments()
+			lock.Close()
+		}
+	}()
+	order, err := readManifest(dir)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		if names, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix)); len(names) > 0 {
+			return nil, fmt.Errorf("diskstore: %s has segment files but no %s; refusing to guess replay order", dir, manifestName)
+		}
+		if err := s.addSegment(1); err != nil {
+			return nil, err
+		}
+		opened = true
+		return s, nil
+	case err != nil:
+		return nil, err
+	}
+	s.order = order
+	if err := s.removeStaleFiles(); err != nil {
+		return nil, err
+	}
+	for _, num := range order {
+		if err := s.replaySegment(num); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.order) == 0 {
+		// A manifest with no segments (e.g. hand-edited): normalize by
+		// creating an empty active segment.
+		if err := s.addSegment(1); err != nil {
+			return nil, err
+		}
+		opened = true
+		return s, nil
+	}
+	s.active = s.segs[s.order[len(s.order)-1]]
+	opened = true
+	return s, nil
+}
+
+// removeStaleFiles deletes segment files the manifest does not name and
+// any leftover manifest temp file — debris of an interrupted Compact.
+func (s *Store) removeStaleFiles() error {
+	live := make(map[string]bool, len(s.order))
+	for _, num := range s.order {
+		live[segName(num)] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := name == manifestTemp ||
+			(strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) && !live[name])
+		if stale {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("diskstore: removing stale %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// replaySegment opens one segment and replays its records into the
+// index. A bad record whose damage touches the end of the file is a
+// torn tail — the signature of a crash mid-append — and is truncated
+// away, losing only that record. A corrupt record that is NOT the last
+// thing in the file cannot come from a torn append (appends only ever
+// extend the file); it is media damage, and replay refuses to open the
+// store rather than silently discarding every record after it.
+func (s *Store) replaySegment(num uint64) error {
+	path := filepath.Join(s.dir, segName(num))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	seg := &segment{num: num, f: f}
+	s.segs[num] = seg
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	fileSize := fi.Size()
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	off := int64(0)
+	torn := false
+	// corrupt marks a bad frame that is fully interior to the file: more
+	// (possibly valid) data follows it, so truncating here would discard
+	// records a crash cannot explain losing.
+	corrupt := func(what string) error {
+		return fmt.Errorf(
+			"diskstore: %s: %s at offset %d with %d bytes after it — not a torn tail; refusing to drop data (restore the file from a copy, or truncate it to %d by hand to discard everything after the damage)",
+			segName(num), what, off, fileSize-off, off)
+	}
+loop:
+	for off < fileSize {
+		if fileSize-off < frameHeaderSize {
+			torn = true // partial header can only be the file's last bytes
+			break
+		}
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return fmt.Errorf("diskstore: reading %s: %w", segName(num), err)
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		frameEnd := off + frameHeaderSize + int64(plen)
+		if plen > maxPayloadSize || frameEnd > fileSize {
+			// The claimed payload runs past EOF: a torn length field or a
+			// frame whose tail never hit the disk. Never allocate more than
+			// the file can actually hold.
+			torn = true
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("diskstore: reading %s: %w", segName(num), err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if frameEnd == fileSize {
+				torn = true
+				break
+			}
+			return corrupt("checksum mismatch")
+		}
+		kind, id, _, err := parsePayload(payload)
+		if err != nil {
+			if frameEnd == fileSize {
+				torn = true
+				break
+			}
+			return corrupt("malformed record payload")
+		}
+		switch kind {
+		case recPut:
+			s.index[id] = recordRef{seg: num, off: off + frameHeaderSize, n: int(plen)}
+		case recDelete:
+			delete(s.index, id)
+		default:
+			if frameEnd == fileSize {
+				torn = true
+				break loop
+			}
+			return corrupt(fmt.Sprintf("unknown record kind %d", kind))
+		}
+		off = frameEnd
+	}
+	seg.size = off
+	if torn || fileSize != off {
+		// Torn tail: truncate so future appends start at a record boundary
+		// and the next replay ends cleanly.
+		if err := f.Truncate(off); err != nil {
+			return fmt.Errorf("diskstore: truncating torn tail of %s: %w", segName(num), err)
+		}
+	}
+	return nil
+}
+
+// addSegment creates segment file num, records it in the manifest, and
+// makes it the active append target. The file is created and made durable
+// before the manifest names it, so a crash between the two steps leaves
+// only an unreferenced empty file.
+func (s *Store) addSegment(num uint64) error {
+	path := filepath.Join(s.dir, segName(num))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	order := append(append([]uint64{}, s.order...), num)
+	if err := writeManifest(s.dir, order); err != nil {
+		f.Close()
+		return err
+	}
+	seg := &segment{num: num, f: f}
+	s.segs[num] = seg
+	s.order = order
+	s.active = seg
+	return nil
+}
+
+func (s *Store) nextSegNum() uint64 {
+	var max uint64
+	for _, n := range s.order {
+		if n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+// op is one pending write: a put (doc != nil) or a tombstone.
+type op struct {
+	kind byte
+	id   string
+	doc  []byte // encoded document, puts only
+}
+
+// writeOps appends the ops' records to the active segment (rolling to new
+// segments as MaxSegmentBytes requires), fsyncs every touched file once,
+// and only then applies the index updates. The caller must hold s.mu.
+//
+// A commit is not atomic across ops: if the write or sync fails partway,
+// records already durable on disk will replay on the next Open even
+// though the in-memory index was not updated. writeOps makes a
+// best-effort truncate back to the starting offset in the common
+// single-segment case to keep memory and disk consistent after errors.
+func (s *Store) writeOps(ops []op) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	touched := []*segment{s.active}
+	startSeg, startSize := s.active, s.active.size
+
+	refs := make([]recordRef, len(ops))
+	var buf []byte
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := s.active.f.WriteAt(buf, s.active.size); err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+		s.active.size += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	fail := func(err error) error {
+		// Best-effort rollback when no roll happened: drop the partial
+		// append so disk matches the (unchanged) index.
+		if s.active == startSeg {
+			if terr := startSeg.f.Truncate(startSize); terr == nil {
+				startSeg.size = startSize
+			}
+		}
+		return err
+	}
+
+	for i, o := range ops {
+		if s.active.size+int64(len(buf)) >= s.opts.MaxSegmentBytes &&
+			s.active.size+int64(len(buf)) > 0 {
+			if err := flush(); err != nil {
+				return fail(err)
+			}
+			if err := s.addSegment(s.nextSegNum()); err != nil {
+				return fail(err)
+			}
+			touched = append(touched, s.active)
+		}
+		payload := encodePayload(o)
+		refs[i] = recordRef{
+			seg: s.active.num,
+			off: s.active.size + int64(len(buf)) + frameHeaderSize,
+			n:   len(payload),
+		}
+		buf = appendFrame(buf, payload)
+	}
+	if err := flush(); err != nil {
+		return fail(err)
+	}
+	if !s.opts.NoSync {
+		for _, seg := range touched {
+			if err := seg.f.Sync(); err != nil {
+				return fail(fmt.Errorf("diskstore: %w", err))
+			}
+		}
+	}
+	for i, o := range ops {
+		if o.kind == recPut {
+			s.index[o.id] = refs[i]
+		} else {
+			delete(s.index, o.id)
+		}
+	}
+	return nil
+}
+
+// Put stores doc durably, replacing any existing document with the same
+// ID. Each Put is one record and (unless NoSync) one fsync; use Batch to
+// amortize the fsync across many documents.
+func (s *Store) Put(ctx context.Context, doc *staccato.Doc) error {
+	o, err := putOp(doc)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeOps([]op{o})
+}
+
+// Get returns the document with the given ID, or store.ErrNotFound.
+func (s *Store) Get(ctx context.Context, id string) (*staccato.Doc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ref, ok := s.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", store.ErrNotFound, id)
+	}
+	return s.readDoc(id, ref)
+}
+
+// readDoc reads and decodes one live record. Callers must hold s.mu (read
+// or write): the lock keeps Compact from closing the segment file under
+// the ReadAt.
+func (s *Store) readDoc(id string, ref recordRef) (*staccato.Doc, error) {
+	seg := s.segs[ref.seg]
+	if seg == nil {
+		return nil, fmt.Errorf("diskstore: index references missing segment %d", ref.seg)
+	}
+	payload := make([]byte, ref.n)
+	if _, err := seg.f.ReadAt(payload, ref.off); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	kind, gotID, docBytes, err := parsePayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != recPut || gotID != id {
+		return nil, fmt.Errorf("diskstore: index for %q points at a %q record for %q", id, kindName(kind), gotID)
+	}
+	return store.Decode(docBytes)
+}
+
+// Delete removes the document with the given ID by appending a durable
+// tombstone; deleting a missing ID is a no-op.
+func (s *Store) Delete(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.index[id]; !ok {
+		return nil
+	}
+	return s.writeOps([]op{{kind: recDelete, id: id}})
+}
+
+// Scan visits all documents in ascending ID order. The snapshot of IDs is
+// taken up front, so fn may call back into the store; a document deleted
+// between snapshot and visit is skipped.
+func (s *Store) Scan(ctx context.Context, fn func(doc *staccato.Doc) error) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	ids := make([]string, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		doc, err := s.Get(ctx, id)
+		if errors.Is(err, store.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(doc); err != nil {
+			if errors.Is(err, store.ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats describes the store's current disk footprint.
+type Stats struct {
+	// Docs is the number of live documents.
+	Docs int
+	// Segments is the number of live segment files.
+	Segments int
+	// DiskBytes is the total size of the live segment files, including
+	// superseded records and tombstones not yet compacted away.
+	DiskBytes int64
+}
+
+// Stats reports live document count, segment count, and disk bytes.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Docs: len(s.index), Segments: len(s.order)}
+	for _, seg := range s.segs {
+		st.DiskBytes += seg.size
+	}
+	return st
+}
+
+// Close releases the store's file handles. Operations after Close return
+// ErrClosed. Close never loses committed data: every commit is already
+// on disk (and, unless NoSync, fsynced) before its call returns.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.closeSegments()
+	if lerr := s.lock.Close(); lerr != nil && err == nil {
+		err = lerr // closing the handle releases the flock
+	}
+	return err
+}
+
+func (s *Store) closeSegments() error {
+	var firstErr error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func putOp(doc *staccato.Doc) (op, error) {
+	if doc == nil || doc.ID == "" {
+		return op{}, fmt.Errorf("diskstore: Put: document must have a non-empty ID")
+	}
+	data, err := store.Encode(doc)
+	if err != nil {
+		return op{}, err
+	}
+	return op{kind: recPut, id: doc.ID, doc: data}, nil
+}
+
+func encodePayload(o op) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(o.id)+len(o.doc))
+	buf = append(buf, o.kind)
+	buf = binary.AppendUvarint(buf, uint64(len(o.id)))
+	buf = append(buf, o.id...)
+	buf = append(buf, o.doc...)
+	return buf
+}
+
+func parsePayload(p []byte) (kind byte, id string, doc []byte, err error) {
+	if len(p) < 1 {
+		return 0, "", nil, fmt.Errorf("diskstore: empty record payload")
+	}
+	kind = p[0]
+	rest := p[1:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 || n > uint64(len(rest)-w) {
+		return 0, "", nil, fmt.Errorf("diskstore: corrupt record key length")
+	}
+	rest = rest[w:]
+	id = string(rest[:n])
+	doc = rest[n:]
+	if kind == recDelete && len(doc) != 0 {
+		return 0, "", nil, fmt.Errorf("diskstore: tombstone with %d trailing bytes", len(doc))
+	}
+	return kind, id, doc, nil
+}
+
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+func kindName(k byte) string {
+	switch k {
+	case recPut:
+		return "put"
+	case recDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("kind=%d", k)
+	}
+}
+
+// readManifest returns the live segment numbers in replay order.
+func readManifest(dir string) ([]uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != manifestMagic {
+		return nil, fmt.Errorf("diskstore: %s is not a %q manifest", manifestName, manifestMagic)
+	}
+	var order []uint64
+	seen := make(map[uint64]bool)
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		n, err := strconv.ParseUint(line, 10, 64)
+		if err != nil || n == 0 || seen[n] {
+			return nil, fmt.Errorf("diskstore: bad manifest segment entry %q", line)
+		}
+		seen[n] = true
+		order = append(order, n)
+	}
+	return order, nil
+}
+
+// stageManifest writes and fsyncs the manifest temp file, ready for the
+// atomic rename over MANIFEST.
+func stageManifest(dir string, order []uint64) error {
+	var sb strings.Builder
+	sb.WriteString(manifestMagic + "\n")
+	for _, n := range order {
+		fmt.Fprintf(&sb, "%d\n", n)
+	}
+	tmp := filepath.Join(dir, manifestTemp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if _, err := f.WriteString(sb.String()); err != nil {
+		f.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// renameManifest performs the atomic flip: after it returns nil the
+// on-disk manifest names the new order, whatever happens next.
+func renameManifest(dir string) error {
+	if err := os.Rename(filepath.Join(dir, manifestTemp), filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// writeManifest atomically replaces the manifest: write a temp file,
+// fsync it, rename over MANIFEST, fsync the directory.
+func writeManifest(dir string, order []uint64) error {
+	if err := stageManifest(dir, order); err != nil {
+		return err
+	}
+	if err := renameManifest(dir); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and file creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("diskstore: fsync %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// acquireLock on platforms without flock creates the LOCK file but
+// provides no cross-process exclusion; single-process use (the tested
+// configuration) is unaffected.
+func acquireLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return f, nil
+}

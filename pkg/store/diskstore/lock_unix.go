@@ -1,0 +1,27 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireLock takes an exclusive, non-blocking advisory flock on the
+// store directory's LOCK file, so two processes can never replay,
+// truncate, append to, or compact the same segments concurrently. The
+// kernel releases the lock when the file handle closes — including on
+// process crash — so a stale lock can never wedge the store.
+func acquireLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s is already open in another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,35 @@
+package store_test
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// Every DocStore backend answers the same four operations; Count and
+// ListIDs are helpers that work against any of them, with ListIDs ending
+// its scan early through ErrStopScan once the limit is reached.
+func ExampleListIDs() {
+	ctx := context.Background()
+	st := store.NewMemStore()
+	for _, id := range []string{"doc-c", "doc-a", "doc-b"} {
+		doc := &staccato.Doc{ID: id, Chunks: []staccato.PathSet{
+			{Retained: 1, Alts: []staccato.Alt{{Text: "text", Prob: 1}}},
+		}}
+		if err := st.Put(ctx, doc); err != nil {
+			panic(err)
+		}
+	}
+	n, err := store.Count(ctx, st)
+	if err != nil {
+		panic(err)
+	}
+	ids, err := store.ListIDs(ctx, st, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n, ids)
+	// Output: 3 [doc-a doc-b]
+}

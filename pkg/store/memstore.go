@@ -58,6 +58,18 @@ func (m *MemStore) Get(ctx context.Context, id string) (*staccato.Doc, error) {
 	return Decode(data)
 }
 
+// Delete removes the document with the given ID; deleting a missing ID
+// is a no-op.
+func (m *MemStore) Delete(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.docs, id)
+	return nil
+}
+
 // Len returns the number of stored documents.
 func (m *MemStore) Len() int {
 	m.mu.RLock()

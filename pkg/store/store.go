@@ -1,10 +1,10 @@
 // Package store persists Staccato documents. The DocStore interface is
-// the contract future backends implement: the in-memory store here is the
-// reference implementation, and an SQL- or disk-backed store can slot in
-// behind the same three operations in a later PR without touching the
-// query or approximation layers. Documents cross the interface through a
-// versioned binary codec, so any backend (and any wire protocol) shares
-// one serialized form.
+// the contract every backend implements: the in-memory store here is the
+// reference implementation, and pkg/store/diskstore is the durable
+// disk-backed one — both slot in behind the same four operations without
+// touching the query or approximation layers. Documents cross the
+// interface through a versioned binary codec, so any backend (and any
+// wire protocol) shares one serialized form.
 package store
 
 import (
@@ -32,6 +32,9 @@ type DocStore interface {
 	Put(ctx context.Context, doc *staccato.Doc) error
 	// Get returns the document with the given ID, or ErrNotFound.
 	Get(ctx context.Context, id string) (*staccato.Doc, error)
+	// Delete removes the document with the given ID. Deleting an ID that
+	// is not present is a no-op, not an error, so Delete is idempotent.
+	Delete(ctx context.Context, id string) error
 	// Scan calls fn for each stored document in ascending ID order. If fn
 	// returns ErrStopScan the scan ends and Scan returns nil; any other
 	// error ends the scan and is returned.

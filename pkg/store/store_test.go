@@ -80,6 +80,28 @@ func TestMemStorePutGet(t *testing.T) {
 	}
 }
 
+func TestMemStoreDelete(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMemStore()
+	if err := st.Put(ctx, sampleDoc(t, "doc-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(ctx, "doc-1"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := st.Get(ctx, "doc-1"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("Get after Delete = %v, want ErrNotFound", err)
+	}
+	if err := st.Delete(ctx, "doc-1"); err != nil {
+		t.Errorf("Delete of missing ID = %v, want nil (idempotent)", err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := st.Delete(cancelled, "x"); err == nil {
+		t.Error("Delete ignored cancelled context")
+	}
+}
+
 func TestMemStoreGetMissing(t *testing.T) {
 	st := store.NewMemStore()
 	_, err := st.Get(context.Background(), "nope")

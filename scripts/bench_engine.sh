@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# bench_engine.sh — run the engine throughput benchmark and emit
-# BENCH_engine.json with ns/op at 1, 4, and 8 workers, so each CI run
-# leaves a machine-readable point on the perf trajectory.
+# bench_engine.sh — run the engine and diskstore benchmarks and emit
+# machine-readable points on the perf trajectory:
+#   BENCH_engine.json     engine ns/op at 1, 4, and 8 workers
+#   BENCH_diskstore.json  batched vs unbatched ingest docs/s, cold-open
+#                         reindex, scan throughput vs MemStore
 #
-# Usage: scripts/bench_engine.sh [output.json]
+# Usage: scripts/bench_engine.sh [engine.json] [diskstore.json]
 #   BENCHTIME=20x scripts/bench_engine.sh   # override iteration count
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out_file="${1:-BENCH_engine.json}"
+disk_out_file="${2:-BENCH_diskstore.json}"
 benchtime="${BENCHTIME:-10x}"
 
 raw=$(go test ./pkg/query -run '^$' -bench 'BenchmarkEngineSearch' \
@@ -33,3 +36,33 @@ echo "$raw" | awk -v out="$out_file" '
 '
 echo "wrote $out_file:"
 cat "$out_file"
+
+disk_raw=$(go test ./pkg/store/diskstore -run '^$' \
+	-bench 'BenchmarkIngest|BenchmarkOpenReindex|BenchmarkScan' \
+	-benchtime "$benchtime" -count 1)
+echo "$disk_raw"
+
+echo "$disk_raw" | awk -v out="$disk_out_file" '
+	/^BenchmarkIngestUnbatched/  { unb_ns = $3;  unb_dps = $5 }
+	/^BenchmarkIngestBatched/    { bat_ns = $3;  bat_dps = $5 }
+	/^BenchmarkOpenReindex/      { open_ns = $3; open_dps = $5 }
+	/^BenchmarkScanDisk/         { sd_ns = $3;   sd_dps = $5 }
+	/^BenchmarkScanMem/          { sm_ns = $3;   sm_dps = $5 }
+	END {
+		if (unb_ns == "" || bat_ns == "" || open_ns == "" || sd_ns == "" || sm_ns == "") {
+			print "bench_engine.sh: missing diskstore benchmark in output" > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n" > out
+		printf "  \"benchmark\": \"DiskStore\",\n" > out
+		printf "  \"ingest_unbatched_docs_per_sec\": %s,\n", unb_dps > out
+		printf "  \"ingest_batched_docs_per_sec\": %s,\n", bat_dps > out
+		printf "  \"ingest_batched_speedup\": %.2f,\n", unb_ns / bat_ns > out
+		printf "  \"open_reindex_ns\": %s,\n", open_ns > out
+		printf "  \"scan_disk_docs_per_sec\": %s,\n", sd_dps > out
+		printf "  \"scan_mem_docs_per_sec\": %s\n", sm_dps > out
+		printf "}\n" > out
+	}
+'
+echo "wrote $disk_out_file:"
+cat "$disk_out_file"
