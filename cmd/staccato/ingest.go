@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"github.com/paper-repo/staccato-go/internal/testgen"
-	"github.com/paper-repo/staccato-go/pkg/store/diskstore"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
 )
 
 // ingestConfig carries everything the ingest subcommand needs, so tests
@@ -24,19 +24,20 @@ type ingestConfig struct {
 	batch   int
 	compact bool
 	noSync  bool
+	noIndex bool
 }
 
 // ingestReport captures the deterministic part of an ingest run.
 type ingestReport struct {
 	ingested int
-	stats    diskstore.Stats
+	stats    staccatodb.Stats
 }
 
 func ingestMain(w io.Writer, args []string) error {
 	fs := newFlagSet("ingest", "ingest -store DIR [flags]",
-		"generate a synthetic OCR corpus and persist it into a disk store")
+		"generate a synthetic OCR corpus and persist it into a staccato database")
 	cfg := ingestConfig{}
-	fs.StringVar(&cfg.store, "store", "", "directory of the disk store to ingest into (required)")
+	fs.StringVar(&cfg.store, "store", "", "directory of the database to ingest into (required)")
 	fs.IntVar(&cfg.docs, "docs", 1000, "number of synthetic documents to ingest")
 	fs.IntVar(&cfg.length, "len", 60, "ground truth length of each document")
 	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the corpus")
@@ -45,6 +46,7 @@ func ingestMain(w io.Writer, args []string) error {
 	fs.IntVar(&cfg.batch, "batch", 256, "documents committed (and fsynced) per write batch")
 	fs.BoolVar(&cfg.compact, "compact", false, "compact the store after ingesting")
 	fs.BoolVar(&cfg.noSync, "nosync", false, "skip fsync on commit (faster; an OS crash may lose recent batches)")
+	fs.BoolVar(&cfg.noIndex, "noindex", false, "do not build or maintain the inverted index (searches will scan; build later with staccato index)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -58,8 +60,8 @@ func ingestMain(w io.Writer, args []string) error {
 	return err
 }
 
-// runIngest streams the synthetic corpus into a disk store, committing
-// one batch — one fsync — per cfg.batch documents.
+// runIngest streams the synthetic corpus into the database, committing
+// one batch — one fsync, one index log record — per cfg.batch documents.
 func runIngest(w io.Writer, cfg ingestConfig) (ingestReport, error) {
 	var rep ingestReport
 	if cfg.store == "" {
@@ -73,41 +75,35 @@ func runIngest(w io.Writer, cfg ingestConfig) (ingestReport, error) {
 	}
 	ctx := context.Background()
 
-	st, err := diskstore.Open(cfg.store, diskstore.Options{NoSync: cfg.noSync})
+	opts := []staccatodb.Option{}
+	if cfg.noSync {
+		opts = append(opts, staccatodb.WithNoSync())
+	}
+	if cfg.noIndex {
+		opts = append(opts, staccatodb.WithoutIndex())
+	}
+	db, err := staccatodb.Open(cfg.store, opts...)
 	if err != nil {
 		return rep, err
 	}
-	defer st.Close()
+	defer db.Close()
 
 	start := time.Now()
-	b := st.Batch()
-	err = testgen.EachDoc(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k,
-		func(dc testgen.DocCase) error {
-			if err := b.Put(dc.Doc); err != nil {
-				return err
-			}
-			rep.ingested++
-			if b.Len() >= cfg.batch {
-				return b.Commit(ctx)
-			}
-			return nil
-		})
+	rep.ingested, err = ingestStream(ctx, db, cfg.docs,
+		testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k, cfg.batch)
 	if err != nil {
-		return rep, err
-	}
-	if err := b.Commit(ctx); err != nil {
 		return rep, err
 	}
 	elapsed := time.Since(start)
 
 	if cfg.compact {
 		compactStart := time.Now()
-		if err := st.Compact(ctx); err != nil {
+		if err := db.Compact(ctx); err != nil {
 			return rep, err
 		}
 		fmt.Fprintf(w, "compacted in %v\n", time.Since(compactStart).Round(time.Millisecond))
 	}
-	rep.stats = st.Stats()
+	rep.stats = db.Stats()
 	fmt.Fprintf(w, "ingested %d docs (len=%d chunks=%d k=%d batch=%d) into %s in %v",
 		rep.ingested, cfg.length, cfg.chunks, cfg.k, cfg.batch, cfg.store, elapsed.Round(time.Millisecond))
 	if elapsed > 0 {
@@ -116,5 +112,10 @@ func runIngest(w io.Writer, cfg ingestConfig) (ingestReport, error) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "store: %d live docs, %d segments, %.1f KiB on disk\n",
 		rep.stats.Docs, rep.stats.Segments, float64(rep.stats.DiskBytes)/1024)
+	if rep.stats.IndexEnabled {
+		fmt.Fprintf(w, "index: %d docs, %d distinct grams\n", rep.stats.IndexDocs, rep.stats.IndexGrams)
+	} else {
+		fmt.Fprintln(w, "index: disabled (-noindex); build one with: staccato index -store", cfg.store)
+	}
 	return rep, nil
 }

@@ -1,9 +1,10 @@
-// Command staccato demonstrates the Staccato pipeline. It has three
+// Command staccato demonstrates the Staccato pipeline. It has four
 // subcommands:
 //
 //	staccato demo [flags]            single-document walkthrough (default)
-//	staccato ingest -store DIR       persist a synthetic corpus to disk
-//	staccato search [flags] TERM...  corpus search with the parallel engine
+//	staccato ingest -store DIR       persist a synthetic corpus into a database
+//	staccato search [flags] TERM...  planner-pruned corpus search
+//	staccato index -store DIR        (re)build a database's inverted index
 //
 // demo generates one synthetic OCR transducer, builds approximated
 // documents at a chosen dial setting, persists them through a DocStore,
@@ -15,20 +16,29 @@
 // With no -term, the demo searches for a ground-truth substring that the
 // MAP string lost and reports the probability Staccato recovers for it.
 //
-// ingest streams a synthetic corpus into a durable disk store, batching
-// many documents per fsync:
+// ingest streams a synthetic corpus into a durable staccatodb database,
+// batching many documents per fsync and maintaining the inverted index
+// alongside every commit (unless -noindex):
 //
 //	staccato ingest -store DIR [-docs N] [-len N] [-seed N] [-chunks N]
-//	                [-k N] [-batch N] [-compact] [-nosync]
+//	                [-k N] [-batch N] [-compact] [-nosync] [-noindex]
 //
-// search runs one compiled boolean query against every document of a
-// corpus through the worker-pool Engine, printing the ranked matches.
-// The corpus is either synthetic and in-memory (-docs) or a directory
-// previously written by ingest (-store); exactly one must be given:
+// search runs one compiled boolean query against a corpus through the
+// pruning planner and the worker-pool engine, printing the ranked
+// matches; -v also prints the pruning plan and how many documents the
+// index let the engine skip. The corpus is either synthetic and
+// in-memory (-docs) or a directory previously written by ingest
+// (-store); exactly one must be given:
 //
 //	staccato search {-docs N | -store DIR} [-workers N] [-top N]
 //	                [-minprob P] [-mode substring|keyword]
-//	                [-combine and|or] [-not TERM] TERM...
+//	                [-combine and|or] [-not TERM] [-noindex] [-v] TERM...
+//
+// index brings the inverted index of an existing database directory up
+// to date, rebuilding from a full scan when it is missing, damaged, or
+// stale — the recovery tool for stores ingested with -noindex:
+//
+//	staccato index -store DIR
 package main
 
 import (
@@ -90,6 +100,8 @@ func main() {
 		err = searchMain(os.Stdout, args[1:])
 	case len(args) > 0 && args[0] == "ingest":
 		err = ingestMain(os.Stdout, args[1:])
+	case len(args) > 0 && args[0] == "index":
+		err = indexMain(os.Stdout, args[1:])
 	case len(args) > 0 && args[0] == "demo":
 		err = demoMain(os.Stdout, args[1:])
 	default:
@@ -125,7 +137,7 @@ func demoMain(w io.Writer, args []string) error {
 	// The demo takes no positional arguments; rejecting them catches a
 	// mistyped subcommand before it silently runs the default demo.
 	if fs.NArg() > 0 {
-		return fmt.Errorf("demo: unexpected argument %q (subcommands are demo, ingest, and search)", fs.Arg(0))
+		return fmt.Errorf("demo: unexpected argument %q (subcommands are demo, ingest, index, and search)", fs.Arg(0))
 	}
 	_, err := run(w, cfg)
 	return err

@@ -228,6 +228,86 @@ func TestIngestSearchParityWithMemStore(t *testing.T) {
 	}
 }
 
+// TestIndexSubcommandRecoversNoIndexStore is the new-subcommand
+// acceptance scenario: a corpus ingested with -noindex searches by full
+// scan; `staccato index` then builds the inverted index, and the same
+// search prunes — with byte-identical results.
+func TestIndexSubcommandRecoversNoIndexStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	icfg := ingestConfig{store: dir, docs: 30, length: 40, seed: 11, chunks: 5, k: 3, batch: 8, noIndex: true}
+	var iout strings.Builder
+	irep, err := runIngest(&iout, icfg)
+	if err != nil {
+		t.Fatalf("runIngest: %v\noutput:\n%s", err, iout.String())
+	}
+	if irep.stats.IndexEnabled {
+		t.Fatal("-noindex ingest built an index anyway")
+	}
+
+	cases, err := testgen.Docs(icfg.docs, testgen.Config{Length: icfg.length, Seed: icfg.seed}, icfg.chunks, icfg.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := searchConfig{
+		store: dir, workers: 2, top: 10, mode: "substring", combine: "and",
+		terms: []string{cases[12].Doc.MAP()[10:17]},
+	}
+	// Search opens with the index enabled by default, which auto-rebuilds
+	// the missing index — exercise the -noindex scan path first so the
+	// parity comparison below is scan vs indexed.
+	scanCfg := scfg
+	scanCfg.noIndex = true
+	scanRep, err := runSearch(&strings.Builder{}, scanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanRep.pruned != 0 {
+		t.Fatalf("-noindex search pruned %d docs", scanRep.pruned)
+	}
+
+	var xout strings.Builder
+	xrep, err := runIndex(&xout, indexConfig{store: dir})
+	if err != nil {
+		t.Fatalf("runIndex: %v\noutput:\n%s", err, xout.String())
+	}
+	if xrep.stats.IndexDocs != icfg.docs || xrep.stats.IndexGrams == 0 {
+		t.Fatalf("index stats after rebuild: %+v", xrep.stats)
+	}
+	if !strings.Contains(xout.String(), "indexed 30 docs") {
+		t.Errorf("index output missing summary:\n%s", xout.String())
+	}
+
+	var sout strings.Builder
+	vcfg := scfg
+	vcfg.verbose = true
+	idxRep, err := runSearch(&sout, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idxRep.pruned == 0 {
+		t.Fatalf("indexed search pruned nothing on a selective term\noutput:\n%s", sout.String())
+	}
+	if !strings.Contains(sout.String(), "planner:") || !strings.Contains(sout.String(), "plan:") {
+		t.Errorf("-v output missing planner lines:\n%s", sout.String())
+	}
+	if !reflect.DeepEqual(idxRep.results, scanRep.results) {
+		t.Fatalf("indexed results differ from scan results:\n idx  %+v\n scan %+v", idxRep.results, scanRep.results)
+	}
+}
+
+func TestIndexSubcommandValidation(t *testing.T) {
+	if _, err := runIndex(&strings.Builder{}, indexConfig{}); err == nil {
+		t.Error("index accepted an empty -store")
+	}
+	missing := filepath.Join(t.TempDir(), "nope")
+	if _, err := runIndex(&strings.Builder{}, indexConfig{store: missing}); err == nil || !strings.Contains(err.Error(), "no store at") {
+		t.Errorf("index on missing store: err = %v, want a no-store error", err)
+	}
+	if err := indexMain(&strings.Builder{}, []string{"stray"}); err == nil {
+		t.Error("index accepted a positional argument")
+	}
+}
+
 // TestSearchCorpusSourceValidation is the flag-ergonomics contract:
 // search must fail with a clear error — not a panic or a usage dump —
 // when -docs and -store are both or neither given.

@@ -13,13 +13,12 @@ import (
 
 	"github.com/paper-repo/staccato-go/internal/testgen"
 	"github.com/paper-repo/staccato-go/pkg/query"
-	"github.com/paper-repo/staccato-go/pkg/store"
-	"github.com/paper-repo/staccato-go/pkg/store/diskstore"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
 )
 
 // searchConfig carries everything the search subcommand needs, so tests
 // can drive runSearch without a command line. Exactly one of docs
-// (synthetic in-memory corpus) and store (persisted corpus directory)
+// (synthetic in-memory corpus) and store (persisted database directory)
 // selects where the documents come from.
 type searchConfig struct {
 	docs    int
@@ -34,6 +33,8 @@ type searchConfig struct {
 	mode    string
 	combine string
 	not     string
+	noIndex bool
+	verbose bool
 	terms   []string
 }
 
@@ -41,6 +42,7 @@ type searchConfig struct {
 type searchReport struct {
 	query   string
 	scanned int
+	pruned  int
 	results []query.Result
 }
 
@@ -49,7 +51,7 @@ func searchMain(w io.Writer, args []string) error {
 		"run one probabilistic boolean query over a corpus (synthetic via -docs, or persisted via -store)")
 	cfg := searchConfig{}
 	fs.IntVar(&cfg.docs, "docs", 0, "query a synthetic in-memory corpus of this many documents")
-	fs.StringVar(&cfg.store, "store", "", "query the disk store previously built by staccato ingest")
+	fs.StringVar(&cfg.store, "store", "", "query the database previously built by staccato ingest")
 	fs.IntVar(&cfg.length, "len", 60, "ground truth length of each document")
 	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the corpus")
 	fs.IntVar(&cfg.chunks, "chunks", 6, "chunks per document (the dial's first knob)")
@@ -60,6 +62,8 @@ func searchMain(w io.Writer, args []string) error {
 	fs.StringVar(&cfg.mode, "mode", "substring", "term mode: substring or keyword")
 	fs.StringVar(&cfg.combine, "combine", "and", "combine multiple terms with: and or or")
 	fs.StringVar(&cfg.not, "not", "", "additionally require this term to be absent")
+	fs.BoolVar(&cfg.noIndex, "noindex", false, "skip the inverted index and scan every document")
+	fs.BoolVar(&cfg.verbose, "v", false, "print the pruning plan and per-run planner stats")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -135,47 +139,62 @@ func buildQuery(cfg searchConfig) (*query.Query, error) {
 	return q, nil
 }
 
-// openCorpus resolves cfg's corpus source: a synthetic MemStore built on
-// the fly (-docs) or a persisted DiskStore (-store). It returns the
-// store, its document count, and a cleanup function.
-func openCorpus(w io.Writer, ctx context.Context, cfg searchConfig) (store.DocStore, int, func(), error) {
+// openCorpus resolves cfg's corpus source into a staccatodb.DB: a
+// synthetic in-memory database built on the fly (-docs) or a persisted
+// one (-store). It returns the database and its document count.
+func openCorpus(w io.Writer, ctx context.Context, cfg searchConfig) (*staccatodb.DB, int, error) {
+	var opts []staccatodb.Option
+	if cfg.workers != 0 {
+		opts = append(opts, staccatodb.WithWorkers(cfg.workers))
+	}
+	if cfg.noIndex {
+		opts = append(opts, staccatodb.WithoutIndex())
+	}
 	switch {
 	case cfg.docs > 0 && cfg.store != "":
-		return nil, 0, nil, fmt.Errorf("search: -docs and -store are mutually exclusive; pick one corpus source")
+		return nil, 0, fmt.Errorf("search: -docs and -store are mutually exclusive; pick one corpus source")
 	case cfg.docs <= 0 && cfg.store == "":
-		return nil, 0, nil, fmt.Errorf("search: no corpus given; use -docs N for a synthetic corpus or -store DIR for an ingested one")
+		return nil, 0, fmt.Errorf("search: no corpus given; use -docs N for a synthetic corpus or -store DIR for an ingested one")
 	case cfg.store != "":
 		// Open would initialize a fresh store on any path; a typo'd -store
 		// must be an error, not an empty corpus plus junk files on disk.
 		if _, err := os.Stat(filepath.Join(cfg.store, "MANIFEST")); err != nil {
-			return nil, 0, nil, fmt.Errorf("search: no store at %s (%w); run staccato ingest -store first", cfg.store, err)
+			return nil, 0, fmt.Errorf("search: no store at %s (%w); run staccato ingest -store first", cfg.store, err)
 		}
 		openStart := time.Now()
-		st, err := diskstore.Open(cfg.store, diskstore.Options{})
+		db, err := staccatodb.Open(cfg.store, opts...)
 		if err != nil {
-			return nil, 0, nil, err
+			return nil, 0, err
 		}
-		stats := st.Stats()
+		stats := db.Stats()
 		fmt.Fprintf(w, "corpus: %d docs from %s (%d segments, %.1f KiB) opened in %v\n",
 			stats.Docs, cfg.store, stats.Segments, float64(stats.DiskBytes)/1024,
 			time.Since(openStart).Round(time.Millisecond))
-		return st, stats.Docs, func() { st.Close() }, nil
+		return db, stats.Docs, nil
 	default:
 		ingestStart := time.Now()
-		st := store.NewMemStore()
-		err := testgen.EachDoc(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k,
-			func(dc testgen.DocCase) error { return st.Put(ctx, dc.Doc) })
+		db, err := staccatodb.OpenMem(opts...)
 		if err != nil {
-			return nil, 0, nil, err
+			return nil, 0, err
 		}
+		// Ingest in bounded batches so a huge -docs corpus never holds
+		// every document live at once on top of the store's copies.
+		const memBatch = 256
+		_, err = ingestStream(ctx, db, cfg.docs,
+			testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k, memBatch)
+		if err != nil {
+			db.Close()
+			return nil, 0, err
+		}
+		n := db.Stats().Docs
 		fmt.Fprintf(w, "corpus: %d docs (len=%d chunks=%d k=%d) ingested in %v\n",
-			st.Len(), cfg.length, cfg.chunks, cfg.k, time.Since(ingestStart).Round(time.Millisecond))
-		return st, st.Len(), func() {}, nil
+			n, cfg.length, cfg.chunks, cfg.k, time.Since(ingestStart).Round(time.Millisecond))
+		return db, n, nil
 	}
 }
 
-// runSearch opens the corpus, runs one compiled query through the
-// parallel engine, and prints the ranked matches.
+// runSearch opens the corpus, runs one compiled query through the planner
+// and the parallel engine, and prints the ranked matches.
 func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	var rep searchReport
 	q, err := buildQuery(cfg)
@@ -185,26 +204,34 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	rep.query = q.String()
 	ctx := context.Background()
 
-	st, docCount, cleanup, err := openCorpus(w, ctx, cfg)
+	db, docCount, err := openCorpus(w, ctx, cfg)
 	if err != nil {
 		return rep, err
 	}
-	defer cleanup()
+	defer db.Close()
 	rep.scanned = docCount
 	fmt.Fprintf(w, "query: %s\n", rep.query)
+	if cfg.verbose {
+		fmt.Fprintln(w, db.Explain(q))
+	}
 
-	eng := query.NewEngine(st, query.EngineOptions{Workers: cfg.workers})
 	searchStart := time.Now()
-	rep.results, err = eng.Search(ctx, q, query.SearchOptions{MinProb: cfg.minProb, TopN: cfg.top})
+	results, stats, err := db.Search(ctx, q, query.SearchOptions{MinProb: cfg.minProb, TopN: cfg.top})
 	if err != nil {
 		return rep, err
 	}
+	rep.results = results
+	rep.pruned = stats.DocsPruned
 	elapsed := time.Since(searchStart)
-	fmt.Fprintf(w, "engine: workers=%d elapsed=%v", eng.Workers(), elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "engine: elapsed=%v", elapsed.Round(time.Microsecond))
 	if elapsed > 0 {
 		fmt.Fprintf(w, " (%.0f docs/s)", float64(rep.scanned)/elapsed.Seconds())
 	}
 	fmt.Fprintln(w)
+	if cfg.verbose {
+		fmt.Fprintf(w, "planner: %d evaluated, %d pruned of %d docs (index used: %v, %d grams)\n",
+			stats.DocsScanned, stats.DocsPruned, stats.DocsTotal, stats.IndexUsed, stats.PlanGrams)
+	}
 
 	if len(rep.results) == 0 {
 		fmt.Fprintln(w, "no documents matched")

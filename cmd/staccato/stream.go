@@ -1,0 +1,40 @@
+package main
+
+import (
+	"context"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// ingestStream generates n synthetic documents and ingests them into db
+// in batches of batchSize — one durable commit (and one index log
+// record) per batch, never more than one batch of documents live at
+// once. Returns how many documents were committed.
+func ingestStream(ctx context.Context, db *staccatodb.DB, n int, cfg testgen.Config, chunks, k, batchSize int) (int, error) {
+	ingested := 0
+	batch := make([]*staccato.Doc, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := db.Ingest(ctx, batch); err != nil {
+			return err
+		}
+		ingested += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	err := testgen.EachDoc(n, cfg, chunks, k, func(dc testgen.DocCase) error {
+		batch = append(batch, dc.Doc)
+		if len(batch) >= batchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return ingested, err
+	}
+	return ingested, flush()
+}

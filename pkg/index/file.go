@@ -1,0 +1,379 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// # On-disk format
+//
+// The index persists as one append-only log file (FileName) in the store
+// directory. Every record is crc-framed exactly like a diskstore segment
+// record:
+//
+//	uint32 payloadLen | uint32 crc32(payload) | payload
+//
+// The first record is a header naming the format and the gram size; every
+// later record is one commit:
+//
+//	header  = magic | uvarint q
+//	commit  = kind=1 | uvarint ops | uvarint bytes | uvarint seg
+//	          | uvarint nDels | nDels × (uvarint len | id)
+//	          | uvarint nAdds | nAdds × (uvarint len | id | overflow byte
+//	                                     | uvarint nGrams
+//	                                     | nGrams × (uvarint len | gram))
+//
+// (ops, bytes) is the diskstore CommitState after the commit the record
+// mirrors. The index is derived data, so recovery is deliberately blunt:
+// Load stops at the first damaged frame, truncates it away, and reports
+// the state of the last intact commit — if that state no longer matches
+// the store's, the caller rebuilds from a scan. Nothing in this file can
+// lose documents; at worst it loses the right to skip a rebuild.
+
+// FileName is the index log's name inside a store directory.
+const FileName = "INDEX"
+
+const (
+	fileMagic      = "staccato-index v1"
+	recCommit      = byte(1)
+	frameHeader    = 8
+	maxPayloadSize = 1 << 30
+)
+
+// State is the diskstore CommitState a commit record was written against,
+// decoupled from the diskstore package so index files can front any
+// store backend. Seg (the store's active segment number) is what keeps
+// the fingerprint collision-free across compactions, which reset Ops and
+// Bytes but always allocate fresh, higher segment numbers.
+type State struct {
+	Ops   uint64
+	Bytes int64
+	Seg   uint64
+}
+
+// ErrMismatch is returned by Load when the file exists but cannot serve
+// the requested gram size — a header from a different q or format.
+var ErrMismatch = errors.New("index: file does not match the requested gram size")
+
+// Writer appends commit records to an index log.
+type Writer struct {
+	f    *os.File
+	sync bool
+}
+
+// OpenAppend opens an existing index log for appending. Only the header
+// frame is validated against gram size q — callers must have run Load or
+// WriteSnapshot on the file first (both leave it ending on a clean frame
+// boundary), which is what makes skipping a second full parse here safe.
+// withSync fsyncs after every Append, mirroring the store's own
+// durability setting.
+func OpenAppend(path string, q int, withSync bool) (*Writer, error) {
+	if err := checkHeader(path, q); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	return &Writer{f: f, sync: withSync}, nil
+}
+
+// checkHeader validates just the log's header frame against gram size q.
+func checkHeader(path string, q int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, frameHeader+len(fileMagic)+binary.MaxVarintLen64)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %s has no valid header", ErrMismatch, path)
+	}
+	hdr = hdr[:n]
+	if len(hdr) < frameHeader {
+		return fmt.Errorf("%w: %s has no valid header", ErrMismatch, path)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	end := frameHeader + int(plen)
+	if end > len(hdr) {
+		return fmt.Errorf("%w: %s has no valid header", ErrMismatch, path)
+	}
+	payload := hdr[frameHeader:end]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return fmt.Errorf("%w: %s has no valid header", ErrMismatch, path)
+	}
+	gotQ, err := parseHeader(payload)
+	if err != nil || gotQ != q {
+		return fmt.Errorf("%w: %s", ErrMismatch, path)
+	}
+	return nil
+}
+
+// Append writes one commit record mirroring a store commit that applied
+// adds and dels and left the store at st.
+func (w *Writer) Append(adds []Entry, dels []string, st State) error {
+	payload := encodeCommit(adds, dels, st)
+	if _, err := w.f.Write(appendFrame(nil, payload)); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases the log file handle.
+func (w *Writer) Close() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the index log at path with a fresh
+// one holding entries as a single commit at state st: write to a temp
+// file, fsync, rename into place. A crash at any point leaves either the
+// old log or the new one, never a mix.
+func WriteSnapshot(path string, ix *Index, st State) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	buf := appendFrame(nil, encodeHeader(ix.GramSize()))
+	buf = appendFrame(buf, encodeCommit(ix.Entries(), nil, st))
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// Load replays the index log at path into a fresh Index and returns it
+// with the State of the last intact commit. A damaged or torn tail is
+// truncated away (the index is derived data; dropping records can only
+// force a rebuild, never lose documents). Missing files surface as
+// fs.ErrNotExist; a header for a different gram size as ErrMismatch.
+func Load(path string, q int) (*Index, State, error) {
+	ix := New(q)
+	st, err := loadInto(path, q, ix)
+	return ix, st, err
+}
+
+// loadInto replays path into ix, returning the last intact commit's
+// state.
+func loadInto(path string, q int, ix *Index) (State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return State{}, err
+	}
+	var st State
+	off := int64(0)
+	sawHeader := false
+	for int64(len(data))-off >= frameHeader {
+		plen := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		end := off + frameHeader + int64(plen)
+		if plen > maxPayloadSize || end > int64(len(data)) {
+			break
+		}
+		payload := data[off+frameHeader : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		if !sawHeader {
+			gotQ, err := parseHeader(payload)
+			if err != nil || gotQ != q {
+				return State{}, fmt.Errorf("%w: %s", ErrMismatch, path)
+			}
+			sawHeader = true
+			off = end
+			continue
+		}
+		adds, dels, recSt, err := parseCommit(payload)
+		if err != nil {
+			break
+		}
+		ix.Apply(adds, dels)
+		st = recSt
+		off = end
+	}
+	if !sawHeader {
+		return State{}, fmt.Errorf("%w: %s has no valid header", ErrMismatch, path)
+	}
+	if off < int64(len(data)) {
+		// Torn or damaged tail: cut it off so appends resume at a frame
+		// boundary. If truncation fails the file still loads the same way
+		// next time; ignore the error.
+		_ = os.Truncate(path, off)
+	}
+	return st, nil
+}
+
+func encodeHeader(q int) []byte {
+	buf := append([]byte{}, fileMagic...)
+	return binary.AppendUvarint(buf, uint64(q))
+}
+
+func parseHeader(p []byte) (int, error) {
+	if len(p) < len(fileMagic) || string(p[:len(fileMagic)]) != fileMagic {
+		return 0, fmt.Errorf("index: bad header magic")
+	}
+	q, n := binary.Uvarint(p[len(fileMagic):])
+	if n <= 0 || q == 0 {
+		return 0, fmt.Errorf("index: bad header gram size")
+	}
+	return int(q), nil
+}
+
+func encodeCommit(adds []Entry, dels []string, st State) []byte {
+	buf := []byte{recCommit}
+	buf = binary.AppendUvarint(buf, st.Ops)
+	buf = binary.AppendUvarint(buf, uint64(st.Bytes))
+	buf = binary.AppendUvarint(buf, st.Seg)
+	buf = binary.AppendUvarint(buf, uint64(len(dels)))
+	for _, id := range dels {
+		buf = appendString(buf, id)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(adds)))
+	for _, e := range adds {
+		buf = appendString(buf, e.ID)
+		if e.Overflow {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Grams)))
+		for _, g := range e.Grams {
+			buf = appendString(buf, g)
+		}
+	}
+	return buf
+}
+
+func parseCommit(p []byte) (adds []Entry, dels []string, st State, err error) {
+	bad := func() ([]Entry, []string, State, error) {
+		return nil, nil, State{}, fmt.Errorf("index: malformed commit record")
+	}
+	if len(p) < 1 || p[0] != recCommit {
+		return bad()
+	}
+	p = p[1:]
+	ops, p, ok := takeUvarint(p)
+	if !ok {
+		return bad()
+	}
+	bytes, p, ok := takeUvarint(p)
+	if !ok {
+		return bad()
+	}
+	seg, p, ok := takeUvarint(p)
+	if !ok {
+		return bad()
+	}
+	st = State{Ops: ops, Bytes: int64(bytes), Seg: seg}
+	nDels, p, ok := takeUvarint(p)
+	if !ok || nDels > uint64(len(p)) {
+		return bad()
+	}
+	for i := uint64(0); i < nDels; i++ {
+		var id string
+		id, p, ok = takeString(p)
+		if !ok {
+			return bad()
+		}
+		dels = append(dels, id)
+	}
+	nAdds, p, ok := takeUvarint(p)
+	if !ok || nAdds > uint64(len(p)) {
+		return bad()
+	}
+	for i := uint64(0); i < nAdds; i++ {
+		var e Entry
+		e.ID, p, ok = takeString(p)
+		if !ok || len(p) < 1 {
+			return bad()
+		}
+		e.Overflow = p[0] == 1
+		p = p[1:]
+		var nGrams uint64
+		nGrams, p, ok = takeUvarint(p)
+		if !ok || nGrams > uint64(len(p)) {
+			return bad()
+		}
+		for j := uint64(0); j < nGrams; j++ {
+			var g string
+			g, p, ok = takeString(p)
+			if !ok {
+				return bad()
+			}
+			e.Grams = append(e.Grams, g)
+		}
+		adds = append(adds, e)
+	}
+	if len(p) != 0 {
+		return bad()
+	}
+	return adds, dels, st, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func takeUvarint(p []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, p[n:], true
+}
+
+func takeString(p []byte) (string, []byte, bool) {
+	n, p, ok := takeUvarint(p)
+	if !ok || n > uint64(len(p)) {
+		return "", nil, false
+	}
+	return string(p[:n]), p[n:], true
+}
+
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// syncDir fsyncs a directory so the snapshot rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("index: fsync %s: %w", dir, err)
+	}
+	return nil
+}

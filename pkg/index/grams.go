@@ -1,0 +1,115 @@
+// Package index maintains a persistent inverted q-gram index over
+// Staccato documents, the structure that lets the query engine answer
+// selective queries without scanning every document — the "use the
+// database's text indexing" half of the Staccato thesis (Kumar & Ré,
+// VLDB 2011).
+//
+// A Staccato document is not one string but a product distribution over
+// per-chunk path sets, so the indexed unit is the set of q-grams that
+// occur in ANY retained reading. That set is computed by a left-to-right
+// dynamic program over the chunks which carries every reachable (q-1)-rune
+// suffix across each chunk boundary, so grams formed from an
+// adjacent-chunk suffix×prefix concatenation — including grams spanning
+// three or more chunks through empty or very short alternatives — are
+// never missed. The resulting contract is the one the planner builds on:
+// if a document's gram set lacks any q-gram of a term, no retained reading
+// of that document contains the term, and its match probability is exactly
+// zero.
+//
+// The index lives in memory as gram → posting list and persists to a
+// single crc-framed log file (see file.go) inside the store directory,
+// maintained transactionally with diskstore commits and rebuilt from a
+// store scan whenever it is missing or stale.
+package index
+
+import (
+	"sort"
+
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// DefaultGramSize is the q used when callers do not choose one. Trigrams
+// are the classic text-index compromise: selective enough to prune, small
+// enough that the gram universe stays bounded.
+const DefaultGramSize = 3
+
+// maxSuffixes bounds the boundary-DP frontier. A document whose reachable
+// suffix set outgrows it is declared an overflow: it is indexed as
+// matching every query rather than risking a dropped gram. With q=3 the
+// frontier is capped by the number of distinct 2-rune strings the
+// alternatives can produce, so ordinary OCR documents stay far below this.
+const maxSuffixes = 1024
+
+// Entry is one document's indexed gram set, the unit that crosses the
+// persistence boundary.
+type Entry struct {
+	ID string
+	// Grams is the sorted set of q-grams occurring in at least one
+	// retained reading. Empty (with Overflow false) means no reading is as
+	// long as q runes.
+	Grams []string
+	// Overflow marks a document whose gram extraction exceeded its budget;
+	// the index treats it as a candidate for every query.
+	Overflow bool
+}
+
+// EntryFor extracts doc's gram set at gram size q. Overflow is reported in
+// the Entry rather than as an error, because the only safe response — treat
+// the document as always matching — is the index's to make, not the
+// caller's.
+func EntryFor(doc *staccato.Doc, q int) Entry {
+	grams, ok := DocGrams(doc, q)
+	return Entry{ID: doc.ID, Grams: grams, Overflow: !ok}
+}
+
+// DocGrams returns the sorted set of q-grams (in runes) that occur in any
+// retained reading of doc, including grams spanning chunk boundaries. The
+// second result is false when the boundary DP exceeded its frontier
+// budget; the returned grams are then incomplete and the document must be
+// treated as matching everything.
+//
+// The DP is exact, not merely conservative: every returned gram occurs in
+// at least one retained reading, because each emitted window is a real
+// reachable suffix concatenated with a real alternative.
+func DocGrams(doc *staccato.Doc, q int) ([]string, bool) {
+	if q < 1 {
+		return nil, false
+	}
+	grams := make(map[string]struct{})
+	// suffixes holds every distinct last-(≤ q-1)-rune string of a reading
+	// prefix ending at the previous chunk boundary.
+	suffixes := map[string]struct{}{"": {}}
+	for _, ch := range doc.Chunks {
+		alts := ch.Alts
+		if len(alts) == 0 {
+			// A chunk with no retained alternatives encodes no readings at
+			// all; treating it as a single empty alternative keeps the DP
+			// running and only ever adds grams, never drops them.
+			alts = []staccato.Alt{{}}
+		}
+		next := make(map[string]struct{}, len(suffixes))
+		for tail := range suffixes {
+			for _, alt := range alts {
+				window := []rune(tail + alt.Text)
+				for i := 0; i+q <= len(window); i++ {
+					grams[string(window[i:i+q])] = struct{}{}
+				}
+				keep := len(window)
+				if keep > q-1 {
+					keep = q - 1
+				}
+				next[string(window[len(window)-keep:])] = struct{}{}
+			}
+		}
+		if len(next) > maxSuffixes {
+			return nil, false
+		}
+		suffixes = next
+	}
+	out := make([]string, 0, len(grams))
+	for g := range grams {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out, true
+}

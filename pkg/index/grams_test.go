@@ -1,0 +1,188 @@
+package index_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/index"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// doc builds a Doc literal from per-chunk alternative lists, with uniform
+// probabilities (gram extraction ignores probabilities).
+func doc(chunks ...[]string) *staccato.Doc {
+	d := &staccato.Doc{ID: "t"}
+	for _, texts := range chunks {
+		ps := staccato.PathSet{Retained: 1}
+		p := 1.0 / float64(len(texts))
+		for _, t := range texts {
+			ps.Alts = append(ps.Alts, staccato.Alt{Text: t, Prob: p})
+		}
+		d.Chunks = append(d.Chunks, ps)
+	}
+	return d
+}
+
+func gramsOf(s string, q int) []string {
+	runes := []rune(s)
+	set := map[string]struct{}{}
+	for i := 0; i+q <= len(runes); i++ {
+		set[string(runes[i:i+q])] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDocGramsSingleChunk(t *testing.T) {
+	d := doc([]string{"hello", "hallo"})
+	got, ok := index.DocGrams(d, 3)
+	if !ok {
+		t.Fatal("unexpected overflow")
+	}
+	want := map[string]struct{}{}
+	for _, s := range []string{"hello", "hallo"} {
+		for _, g := range gramsOf(s, 3) {
+			want[g] = struct{}{}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("grams = %v, want the grams of hello+hallo", got)
+	}
+	for _, g := range got {
+		if _, ok := want[g]; !ok {
+			t.Errorf("unexpected gram %q", g)
+		}
+	}
+}
+
+func TestDocGramsBoundarySpans(t *testing.T) {
+	// Readings: "abcd" and "xycd". Boundary grams "bcd" and "ycd" (and
+	// "abc"/"xyc") must be present; cross-alternative fabrications like
+	// "byc" must not.
+	d := doc([]string{"ab", "xy"}, []string{"cd"})
+	got, ok := index.DocGrams(d, 3)
+	if !ok {
+		t.Fatal("unexpected overflow")
+	}
+	set := toSet(got)
+	for _, g := range []string{"abc", "bcd", "xyc", "ycd"} {
+		if _, ok := set[g]; !ok {
+			t.Errorf("missing boundary gram %q in %v", g, got)
+		}
+	}
+	for _, g := range []string{"byc", "axc", "abd"} {
+		if _, ok := set[g]; ok {
+			t.Errorf("fabricated gram %q present", g)
+		}
+	}
+}
+
+func TestDocGramsThreeChunkSpanThroughEmptyAlt(t *testing.T) {
+	// Readings: "abc" (middle chunk reads as empty — an OCR deletion) and
+	// "axbc". The gram "abc" spans three chunks.
+	d := doc([]string{"a"}, []string{"", "x"}, []string{"bc"})
+	got, ok := index.DocGrams(d, 3)
+	if !ok {
+		t.Fatal("unexpected overflow")
+	}
+	set := toSet(got)
+	for _, g := range []string{"abc", "axb", "xbc"} {
+		if _, ok := set[g]; !ok {
+			t.Errorf("missing gram %q in %v", g, got)
+		}
+	}
+}
+
+func TestDocGramsShortDoc(t *testing.T) {
+	d := doc([]string{"ab"})
+	got, ok := index.DocGrams(d, 3)
+	if !ok || len(got) != 0 {
+		t.Errorf("DocGrams(short doc) = %v, %v; want empty, true", got, ok)
+	}
+}
+
+func TestDocGramsOverflow(t *testing.T) {
+	// Two chunks of many distinct single-rune alternatives multiply the
+	// suffix frontier past the budget.
+	var a, b []string
+	for i := 0; i < 40; i++ {
+		a = append(a, string(rune('a'+i)))
+		b = append(b, string(rune('①'+i)))
+	}
+	d := doc(a, b, []string{"zz"})
+	if _, ok := index.DocGrams(d, 3); ok {
+		t.Error("expected overflow for a doc with a huge suffix frontier")
+	}
+	e := index.EntryFor(d, 3)
+	if !e.Overflow {
+		t.Error("EntryFor should mark the doc as overflow")
+	}
+}
+
+// TestDocGramsExactOnGeneratedDocs is the extraction's core property on
+// realistic documents: the gram set equals exactly the union of the
+// q-grams of every retained reading — no reading gram missed (the
+// planner's no-false-negative contract), nothing fabricated (pruning
+// power).
+func TestDocGramsExactOnGeneratedDocs(t *testing.T) {
+	const q = 3
+	cases, err := testgen.Docs(25, testgen.Config{Length: 18, Seed: 11}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range cases {
+		got, ok := index.DocGrams(c.Doc, q)
+		if !ok {
+			t.Fatalf("case %d: unexpected overflow", ci)
+		}
+		want := map[string]struct{}{}
+		c.Doc.Readings(func(text string, _ float64) bool {
+			for _, g := range gramsOf(text, q) {
+				want[g] = struct{}{}
+			}
+			return true
+		})
+		gotSet := toSet(got)
+		for g := range want {
+			if _, ok := gotSet[g]; !ok {
+				t.Errorf("case %d: reading gram %q missing from DocGrams", ci, g)
+			}
+		}
+		for g := range gotSet {
+			if _, ok := want[g]; !ok {
+				t.Errorf("case %d: DocGrams fabricated %q (in no reading)", ci, g)
+			}
+		}
+	}
+}
+
+func TestDocGramsDeterministicAndSorted(t *testing.T) {
+	cases, err := testgen.Docs(3, testgen.Config{Length: 30, Seed: 5}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		a, _ := index.DocGrams(c.Doc, 3)
+		b, _ := index.DocGrams(c.Doc, 3)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatal("DocGrams not deterministic")
+		}
+		if !sort.StringsAreSorted(a) {
+			t.Fatal("DocGrams not sorted")
+		}
+	}
+}
+
+func toSet(ss []string) map[string]struct{} {
+	out := make(map[string]struct{}, len(ss))
+	for _, s := range ss {
+		out[s] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// Index is an in-memory inverted q-gram index over documents. It is safe
+// for concurrent use: lookups run in parallel, mutations are serialized.
+//
+// Internally every live document holds an ordinal; posting lists are
+// ascending ordinal slices that only ever have new (larger) ordinals
+// appended, so they stay sorted without re-sorting. Deletes and
+// supersedes just kill the old ordinal — posting lists keep the stale
+// entry and lookups filter it out — which makes mutation O(grams) and
+// defers all garbage collection to the next snapshot rewrite.
+type Index struct {
+	q int
+
+	mu   sync.RWMutex
+	ord  map[string]uint32 // live doc ID -> ordinal
+	ids  []string          // ordinal -> doc ID; "" marks a dead ordinal
+	post map[string][]uint32
+	// always holds ordinals of overflow documents, which are candidates
+	// for every query.
+	always map[uint32]struct{}
+}
+
+// New returns an empty index over q-rune grams. q < 1 selects
+// DefaultGramSize.
+func New(q int) *Index {
+	if q < 1 {
+		q = DefaultGramSize
+	}
+	return &Index{
+		q:      q,
+		ord:    make(map[string]uint32),
+		post:   make(map[string][]uint32),
+		always: make(map[uint32]struct{}),
+	}
+}
+
+// GramSize returns the q the index was built with. Plans must be extracted
+// at the same gram size or lookups would be meaningless.
+func (ix *Index) GramSize() int { return ix.q }
+
+// Add indexes doc, superseding any previously indexed document with the
+// same ID. The document is read synchronously and not retained.
+func (ix *Index) Add(doc *staccato.Doc) {
+	ix.Apply([]Entry{EntryFor(doc, ix.q)}, nil)
+}
+
+// Delete removes the document with the given ID; unknown IDs are a no-op.
+func (ix *Index) Delete(id string) {
+	ix.Apply(nil, []string{id})
+}
+
+// Apply atomically applies one commit's worth of mutations: deletions
+// first, then additions. Callers whose commit touched the same ID more
+// than once must pass the commit's NET effect — the ID in exactly one of
+// adds or dels, per its last operation — because the dels-then-adds
+// order cannot represent an intra-commit interleaving (staccatodb's
+// commit hook performs this normalization).
+func (ix *Index) Apply(adds []Entry, dels []string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, id := range dels {
+		ix.kill(id)
+	}
+	for _, e := range adds {
+		ix.kill(e.ID)
+		o := uint32(len(ix.ids))
+		ix.ids = append(ix.ids, e.ID)
+		ix.ord[e.ID] = o
+		if e.Overflow {
+			ix.always[o] = struct{}{}
+			continue
+		}
+		for _, g := range e.Grams {
+			ix.post[g] = append(ix.post[g], o)
+		}
+	}
+}
+
+// kill marks id's current ordinal dead. Callers hold ix.mu.
+func (ix *Index) kill(id string) {
+	if o, ok := ix.ord[id]; ok {
+		delete(ix.ord, id)
+		delete(ix.always, o)
+		ix.ids[o] = ""
+	}
+}
+
+// Candidates returns the ascending IDs of live documents whose gram sets
+// contain every one of grams, plus every overflow document. ok is false
+// when grams is empty — no gram means no evidence, and the caller must
+// not prune.
+//
+// This is the index half of the planner's no-false-negative contract: a
+// live document absent from the returned set provably has no retained
+// reading containing all of grams.
+func (ix *Index) Candidates(grams []string) ([]string, bool) {
+	if len(grams) == 0 {
+		return nil, false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	// Intersect posting lists rarest-first so the working set only
+	// shrinks.
+	lists := make([][]uint32, len(grams))
+	for i, g := range grams {
+		lists[i] = ix.post[g]
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+
+	acc := lists[0]
+	for _, next := range lists[1:] {
+		if len(acc) == 0 {
+			break
+		}
+		acc = intersect(acc, next)
+	}
+
+	out := make([]string, 0, len(acc)+len(ix.always))
+	for _, o := range acc {
+		if id := ix.ids[o]; id != "" {
+			out = append(out, id)
+		}
+	}
+	for o := range ix.always {
+		if id := ix.ids[o]; id != "" {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return dedupSorted(out), true
+}
+
+// intersect merges two ascending ordinal slices.
+func intersect(a, b []uint32) []uint32 {
+	out := a[:0:0] // fresh backing array; a may be a shared posting list
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.ord)
+}
+
+// Stats describes the index's current shape.
+type Stats struct {
+	// Docs is the number of live indexed documents.
+	Docs int
+	// Grams is the number of distinct grams with at least one posting
+	// (dead postings included until the next snapshot rewrite).
+	Grams int
+	// Postings is the total posting-list length across all grams.
+	Postings int
+	// OverflowDocs counts live documents indexed as always-matching.
+	OverflowDocs int
+}
+
+// Stats reports document, gram, and posting counts.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := Stats{Docs: len(ix.ord), Grams: len(ix.post)}
+	for _, p := range ix.post {
+		st.Postings += len(p)
+	}
+	for o := range ix.always {
+		if ix.ids[o] != "" {
+			st.OverflowDocs++
+		}
+	}
+	return st
+}
+
+// Entries snapshots the live documents as sorted Entries — the inverse of
+// Apply, used to rewrite the on-disk log without the dead postings that
+// accumulate between compactions.
+func (ix *Index) Entries() []Entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	byID := make(map[string]*Entry, len(ix.ord))
+	ids := make([]string, 0, len(ix.ord))
+	for id, o := range ix.ord {
+		e := &Entry{ID: id}
+		if _, ok := ix.always[o]; ok {
+			e.Overflow = true
+		}
+		byID[id] = e
+		ids = append(ids, id)
+	}
+	for g, posts := range ix.post {
+		for _, o := range posts {
+			id := ix.ids[o]
+			if id == "" || ix.ord[id] != o {
+				continue
+			}
+			byID[id].Grams = append(byID[id].Grams, g)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]Entry, len(ids))
+	for i, id := range ids {
+		e := byID[id]
+		sort.Strings(e.Grams)
+		out[i] = *e
+	}
+	return out
+}

@@ -17,6 +17,27 @@ type Result struct {
 	Prob  float64
 }
 
+// SearchStats reports how a query executed: how much of the corpus the
+// planner pruned away versus how much the DP actually evaluated. The
+// engine fills the Docs* counters; callers that planned the query (such
+// as staccatodb.DB) fill the planner fields.
+type SearchStats struct {
+	// DocsTotal is the number of live documents the run considered —
+	// pruned and evaluated alike.
+	DocsTotal int
+	// DocsScanned is the number of documents the DP actually evaluated.
+	DocsScanned int
+	// DocsPruned is the number of documents skipped via the candidate set
+	// without being evaluated.
+	DocsPruned int
+	// IndexUsed reports whether a candidate set restricted the run at all.
+	IndexUsed bool
+	// PlanGrams is the number of distinct grams the planner consulted.
+	PlanGrams int
+	// Plan is the rendered Plan the run executed under.
+	Plan string
+}
+
 // EngineOptions configures a new Engine.
 type EngineOptions struct {
 	// Workers is how many documents are evaluated concurrently. Zero or
@@ -25,11 +46,17 @@ type EngineOptions struct {
 }
 
 // Engine executes compiled Queries against every document in a DocStore.
-// Documents stream out of DocStore.Scan, fan out to a fixed worker pool
-// for evaluation, and results are re-sequenced into scan order, so every
-// run over an unchanged store is deterministic regardless of worker count.
+// Documents stream out of the store, fan out to a fixed worker pool for
+// evaluation, and results are re-sequenced into scan order, so every run
+// over an unchanged store is deterministic regardless of worker count.
 // An Engine is stateless apart from its configuration and may be shared
 // across goroutines.
+//
+// When a candidate set from a Plan restricts a run, documents outside the
+// set are reported with probability zero without being evaluated — and,
+// when the store implements store.IDLister, without even being read from
+// the store. The no-false-negative planner contract makes the two
+// execution paths byte-identical.
 type Engine struct {
 	st      store.DocStore
 	workers int
@@ -50,23 +77,30 @@ func NewEngine(st store.DocStore, opts EngineOptions) *Engine {
 // Workers returns the engine's worker pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// SearchOptions narrows and ranks what Search returns.
+// SearchOptions narrows, ranks, and instruments what Search returns.
 type SearchOptions struct {
 	// MinProb drops documents whose probability is below the threshold.
 	// Documents with probability exactly zero are always dropped.
 	MinProb float64
 	// TopN keeps only the N best-ranked documents; zero keeps all.
 	TopN int
+	// Candidates, when non-nil, restricts evaluation to its members;
+	// documents outside it are treated as guaranteed non-matches. Obtain
+	// one from Plan.Candidates — a set that can drop true matches breaks
+	// the engine's result guarantees.
+	Candidates *CandidateSet
+	// Stats, when non-nil, receives the run's execution counters.
+	Stats *SearchStats
 }
 
 // Search evaluates q against every stored document and returns the
 // matches ranked by descending probability (ties broken by ascending
 // DocID), filtered and truncated per opts. The ranking is fully
 // deterministic: the same store contents and query produce identical
-// results at any worker count.
+// results at any worker count, with or without a candidate set.
 func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Result, error) {
 	var out []Result
-	err := e.ForEach(ctx, q, func(r Result) error {
+	err := e.ForEachPruned(ctx, q, opts.Candidates, opts.Stats, func(r Result) error {
 		if r.Prob <= 0 || r.Prob < opts.MinProb {
 			return nil
 		}
@@ -96,63 +130,153 @@ func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Re
 // Cancelling ctx aborts the stream with ctx's error: once cancellation
 // is observed, fn is not called again.
 func (e *Engine) ForEach(ctx context.Context, q *Query, fn func(Result) error) error {
+	return e.ForEachPruned(ctx, q, nil, nil, fn)
+}
+
+// ForEachPruned is ForEach restricted by a candidate set: documents
+// outside cand stream out with probability zero without being evaluated.
+// A nil cand evaluates everything, exactly like ForEach. stats, when
+// non-nil, receives the run's counters before the call returns. cand is
+// a snapshot: a document added to the store after cand was computed but
+// before this run lists it may stream out at probability zero even if
+// it matches — callers needing a write to be visible must compute the
+// candidate set after the write completes (Search's ranked output is
+// unaffected: it drops zero-probability results, so it matches an
+// execution ordered before such a write).
+func (e *Engine) ForEachPruned(ctx context.Context, q *Query, cand *CandidateSet, stats *SearchStats, fn func(Result) error) error {
 	if q == nil || q.expr == nil {
 		return errors.New("query: ForEach requires a compiled, non-nil Query")
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// job is one document's unit of work. Exactly one of doc and id is
+	// set: the Scan feeder carries decoded documents, the IDLister feeder
+	// carries bare IDs and lets the worker read only unpruned documents.
 	type job struct {
-		seq int
-		doc *staccato.Doc
+		seq  int
+		doc  *staccato.Doc
+		id   string
+		skip bool // pruned: report zero without evaluating
 	}
 	type seqResult struct {
-		seq int
-		res Result
+		seq       int
+		res       Result
+		evaluated bool
+		dropped   bool // document vanished between listing and read
 	}
 	jobs := make(chan job, e.workers)
 	results := make(chan seqResult, e.workers)
 
 	// window bounds how many documents may be in flight — scanned but not
 	// yet delivered to fn. Without it, one slow document would let the
-	// scanner run the whole corpus ahead and park O(corpus) results in the
-	// collector's re-sequencing buffer. The scanner acquires a token per
+	// feeder run the whole corpus ahead and park O(corpus) results in the
+	// collector's re-sequencing buffer. The feeder acquires a token per
 	// document; the collector releases it on delivery.
 	window := make(chan struct{}, 2*e.workers+2)
 
-	// Scanner: pull documents out of the store in ID order, stamping each
-	// with its sequence number so order can be restored after the pool.
-	var scanWG sync.WaitGroup
-	var scanErr error
-	scanWG.Add(1)
+	admit := func(j job) error {
+		select {
+		case window <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		select {
+		case jobs <- j:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	// The feeder pulls work out of the store in ID order, stamping each
+	// document with its sequence number so order can be restored after the
+	// pool. With a candidate set and an ID-listing store, pruned documents
+	// never enter the pipeline at all: the ID list is snapshotted up
+	// front, only candidates become worker jobs, and the collector
+	// synthesizes the zero results for the gaps — the planner's speedup
+	// comes from skipping the pruned documents' read, decode, evaluation,
+	// AND per-document scheduling.
+	var prunedIDs []string // seq -> ID; non-nil only on the listed path
+	if cand != nil {
+		if lister, ok := e.st.(store.IDLister); ok {
+			ids, err := lister.ListDocIDs(ctx)
+			if err != nil {
+				return err
+			}
+			prunedIDs = ids
+		}
+	}
+	var feedWG sync.WaitGroup
+	var feedErr error
+	feedWG.Add(1)
 	go func() {
-		defer scanWG.Done()
+		defer feedWG.Done()
 		defer close(jobs)
+		if prunedIDs != nil {
+			for seq, id := range prunedIDs {
+				if !cand.Has(id) {
+					continue // the collector emits the zero result
+				}
+				if err := admit(job{seq: seq, id: id}); err != nil {
+					feedErr = err
+					return
+				}
+			}
+			return
+		}
 		seq := 0
-		scanErr = e.st.Scan(ctx, func(d *staccato.Doc) error {
-			select {
-			case window <- struct{}{}:
-			case <-ctx.Done():
-				return ctx.Err()
+		feedErr = e.st.Scan(ctx, func(d *staccato.Doc) error {
+			j := job{seq: seq, doc: d, skip: !cand.Has(d.ID)}
+			if err := admit(j); err != nil {
+				return err
 			}
-			select {
-			case jobs <- job{seq: seq, doc: d}:
-				seq++
-				return nil
-			case <-ctx.Done():
-				return ctx.Err()
-			}
+			seq++
+			return nil
 		})
 	}()
 
 	// Workers: evaluate the shared compiled query, one document at a time.
+	// The first worker failure cancels the run and is reported once.
+	var workerErr error
+	var workerOnce sync.Once
+	fail := func(err error) {
+		workerOnce.Do(func() {
+			workerErr = err
+			cancel()
+		})
+	}
 	var poolWG sync.WaitGroup
 	for i := 0; i < e.workers; i++ {
 		poolWG.Add(1)
 		go func() {
 			defer poolWG.Done()
 			for j := range jobs {
-				r := seqResult{seq: j.seq, res: Result{DocID: j.doc.ID, Prob: q.Eval(j.doc)}}
+				r := seqResult{seq: j.seq}
+				switch {
+				case j.skip:
+					id := j.id
+					if j.doc != nil {
+						id = j.doc.ID
+					}
+					r.res = Result{DocID: id}
+				case j.doc != nil:
+					r.res = Result{DocID: j.doc.ID, Prob: q.Eval(j.doc)}
+					r.evaluated = true
+				default:
+					doc, err := e.st.Get(ctx, j.id)
+					switch {
+					case errors.Is(err, store.ErrNotFound):
+						r.res = Result{DocID: j.id}
+						r.dropped = true
+					case err != nil:
+						fail(err)
+						return
+					default:
+						r.res = Result{DocID: doc.ID, Prob: q.Eval(doc)}
+						r.evaluated = true
+					}
+				}
 				select {
 				case results <- r:
 				case <-ctx.Done():
@@ -162,38 +286,71 @@ func (e *Engine) ForEach(ctx context.Context, q *Query, fn func(Result) error) e
 		}()
 	}
 	go func() {
-		scanWG.Wait()
+		feedWG.Wait()
 		poolWG.Wait()
 		close(results)
 	}()
 
 	// Collector: re-sequence out-of-order completions and deliver them to
-	// fn in scan order. The window cap bounds `pending` to the in-flight
-	// limit regardless of corpus size or per-document latency skew.
-	pending := make(map[int]Result, e.workers)
+	// fn in scan order, synthesizing the zero results for sequence numbers
+	// the feeder pruned away on the listed path. The window cap bounds
+	// `pending` to the in-flight limit regardless of corpus size or
+	// per-document latency skew.
+	var runStats SearchStats
+	pending := make(map[int]seqResult, e.workers)
 	nextSeq := 0
 	var fnErr error
+	advance := func() {
+		for fnErr == nil && ctx.Err() == nil {
+			if prunedIDs != nil && nextSeq < len(prunedIDs) && !cand.Has(prunedIDs[nextSeq]) {
+				id := prunedIDs[nextSeq]
+				nextSeq++
+				runStats.DocsTotal++
+				runStats.DocsPruned++
+				if err := fn(Result{DocID: id}); err != nil {
+					fnErr = err
+					cancel()
+					return
+				}
+				continue
+			}
+			res, ok := pending[nextSeq]
+			if !ok {
+				return
+			}
+			delete(pending, nextSeq)
+			nextSeq++
+			<-window // delivered: let the feeder admit another document
+			if res.dropped {
+				continue
+			}
+			runStats.DocsTotal++
+			if res.evaluated {
+				runStats.DocsScanned++
+			} else {
+				runStats.DocsPruned++
+			}
+			if err := fn(res.res); err != nil {
+				fnErr = err
+				cancel()
+				return
+			}
+		}
+	}
+	advance() // a corpus whose head (or whole) is pruned yields no results
 	for r := range results {
 		if fnErr != nil || ctx.Err() != nil {
 			continue // draining after failure/stop/cancellation
 		}
-		pending[r.seq] = r.res
-		for {
-			res, ok := pending[nextSeq]
-			if !ok {
-				break
-			}
-			delete(pending, nextSeq)
-			nextSeq++
-			<-window // delivered: let the scanner admit another document
-			if err := fn(res); err != nil {
-				fnErr = err
-				cancel()
-				break
-			}
-		}
+		pending[r.seq] = r
+		advance()
 	}
-	scanWG.Wait() // happens-before for scanErr
+	feedWG.Wait() // happens-before for feedErr
+	if stats != nil {
+		stats.DocsTotal = runStats.DocsTotal
+		stats.DocsScanned = runStats.DocsScanned
+		stats.DocsPruned = runStats.DocsPruned
+	}
 
 	if fnErr != nil {
 		if errors.Is(fnErr, store.ErrStopScan) {
@@ -201,11 +358,18 @@ func (e *Engine) ForEach(ctx context.Context, q *Query, fn func(Result) error) e
 		}
 		return fnErr
 	}
-	if scanErr != nil {
-		return scanErr
+	if workerErr != nil {
+		return workerErr
+	}
+	if feedErr != nil && !errors.Is(feedErr, context.Canceled) {
+		return feedErr
 	}
 	// The scan may have finished before an external cancellation was
 	// observed; the deferred cancel has not run yet, so a non-nil error
-	// here can only come from the caller's context.
-	return ctx.Err()
+	// here can only come from the caller's context — or from the
+	// worker-failure cancel already reported above.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return feedErr
 }

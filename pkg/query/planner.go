@@ -1,0 +1,375 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the planning half of indexed execution. A compiled Query
+// is a boolean formula over term automata; the Planner extracts from it
+// the gram-level evidence every match MUST leave in an inverted q-gram
+// index, and turns posting-list lookups into a candidate document set the
+// engine then restricts its scan to.
+//
+// The contract is strictly no-false-negative: a document outside the
+// candidate set provably has match probability zero, so Search results
+// are byte-identical with planning on, off, or unavailable. To keep that
+// guarantee the extraction is conservative wherever the index cannot
+// help:
+//
+//   - a substring or keyword leaf of at least gramSize runes requires
+//     every q-gram of its term (a reading containing the term contains
+//     them all), so its candidates are the intersection of those postings;
+//   - a shorter leaf leaves no gram evidence and cannot prune;
+//   - AND intersects its children's candidate sets (children that cannot
+//     prune simply drop out of the intersection);
+//   - OR unions its children and can only prune if every child can;
+//   - NOT cannot prune: a document matching the negated branch still has
+//     nonzero probability of not matching it, so negations always scan.
+
+// CandidateSet is a set of document IDs that may match a query; documents
+// outside the set are guaranteed non-matches. A nil *CandidateSet means
+// "no pruning information: every document is a candidate", which is why
+// the methods below are defined on the nil receiver.
+type CandidateSet struct {
+	ids map[string]struct{}
+}
+
+// NewCandidateSet builds a set from ids.
+func NewCandidateSet(ids ...string) *CandidateSet {
+	c := &CandidateSet{ids: make(map[string]struct{}, len(ids))}
+	for _, id := range ids {
+		c.ids[id] = struct{}{}
+	}
+	return c
+}
+
+// Has reports whether id is a candidate. The nil set admits everything.
+func (c *CandidateSet) Has(id string) bool {
+	if c == nil {
+		return true
+	}
+	_, ok := c.ids[id]
+	return ok
+}
+
+// Len returns the number of candidates, or -1 for the nil
+// (everything-is-a-candidate) set.
+func (c *CandidateSet) Len() int {
+	if c == nil {
+		return -1
+	}
+	return len(c.ids)
+}
+
+// IDs returns the candidates in ascending order; nil for the nil set.
+func (c *CandidateSet) IDs() []string {
+	if c == nil {
+		return nil
+	}
+	out := make([]string, 0, len(c.ids))
+	for id := range c.ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func intersectSets(a, b *CandidateSet) *CandidateSet {
+	if a.Len() > b.Len() {
+		a, b = b, a
+	}
+	out := &CandidateSet{ids: make(map[string]struct{}, a.Len())}
+	for id := range a.ids {
+		if b.Has(id) {
+			out.ids[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// PostingSource answers gram lookups for the planner — the seam between
+// pkg/query and an inverted index implementation (index.Index satisfies
+// it). Implementations must honor the same no-false-negative contract:
+// every live document whose retained readings could contain all of grams
+// must appear in the result.
+type PostingSource interface {
+	// Candidates returns the IDs of documents that may contain every gram
+	// in grams. ok=false means the source cannot answer (for example,
+	// grams is empty) and the caller must not prune.
+	Candidates(grams []string) (ids []string, ok bool)
+}
+
+// Plan is the pruning strategy extracted from a Query at a given gram
+// size. A Plan is immutable, independent of any particular index, and may
+// be reused across Candidates calls and goroutines.
+type Plan struct {
+	gramSize int
+	root     planNode
+}
+
+// Plan extracts the conservatively-required gram sets from q. gramSize
+// must match the target index's; a gramSize < 1 yields a plan that never
+// prunes.
+func (q *Query) Plan(gramSize int) *Plan {
+	p := &Plan{gramSize: gramSize}
+	if gramSize < 1 {
+		p.root = planAll{reason: "planning disabled"}
+		return p
+	}
+	p.root = buildPlan(exprOf(q), q.leaves, gramSize)
+	return p
+}
+
+// Candidates evaluates the plan against src. A nil result means the plan
+// cannot prune and every document must be scanned; a non-nil result —
+// possibly empty — restricts the scan to its members.
+func (p *Plan) Candidates(src PostingSource) *CandidateSet {
+	set, ok := p.root.candidates(src)
+	if !ok {
+		return nil
+	}
+	return set
+}
+
+// Prunable reports whether the plan can restrict a scan at all, given a
+// cooperative posting source.
+func (p *Plan) Prunable() bool { return p.root.prunable() }
+
+// NumGrams returns the number of distinct grams the plan consults.
+func (p *Plan) NumGrams() int {
+	grams := make(map[string]struct{})
+	p.root.collectGrams(grams)
+	return len(grams)
+}
+
+// String renders the plan in the same lisp-ish shape as Query.String,
+// marking each branch as gram-pruned or scan-forced, e.g.
+// and(grams(substr("foo") ×3), scan(negation cannot prune)).
+func (p *Plan) String() string {
+	var sb strings.Builder
+	p.root.render(&sb)
+	return sb.String()
+}
+
+// planNode mirrors the query's expr tree, reduced to what matters for
+// pruning. candidates returns (set, true) to restrict the scan to set, or
+// (nil, false) when this branch cannot prune.
+type planNode interface {
+	candidates(src PostingSource) (*CandidateSet, bool)
+	prunable() bool
+	collectGrams(into map[string]struct{})
+	render(sb *strings.Builder)
+}
+
+// planAll is a branch that cannot prune: every document is a candidate.
+type planAll struct{ reason string }
+
+func (n planAll) candidates(PostingSource) (*CandidateSet, bool) { return nil, false }
+func (n planAll) prunable() bool                                 { return false }
+func (n planAll) collectGrams(map[string]struct{})               {}
+func (n planAll) render(sb *strings.Builder)                     { fmt.Fprintf(sb, "scan(%s)", n.reason) }
+
+// planNone is the constant-false branch: no document can match.
+type planNone struct{}
+
+func (planNone) candidates(PostingSource) (*CandidateSet, bool) { return NewCandidateSet(), true }
+func (planNone) prunable() bool                                 { return true }
+func (planNone) collectGrams(map[string]struct{})               {}
+func (planNone) render(sb *strings.Builder)                     { sb.WriteString("none") }
+
+// planGrams is a prunable leaf: all grams must be present in a matching
+// document.
+type planGrams struct {
+	term  string
+	mode  Mode
+	grams []string
+}
+
+func (n planGrams) candidates(src PostingSource) (*CandidateSet, bool) {
+	ids, ok := src.Candidates(n.grams)
+	if !ok {
+		return nil, false
+	}
+	return NewCandidateSet(ids...), true
+}
+
+func (n planGrams) prunable() bool { return true }
+
+func (n planGrams) collectGrams(into map[string]struct{}) {
+	for _, g := range n.grams {
+		into[g] = struct{}{}
+	}
+}
+
+func (n planGrams) render(sb *strings.Builder) {
+	kind := "substr"
+	if n.mode == ModeKeyword {
+		kind = "kw"
+	}
+	fmt.Fprintf(sb, "grams(%s(%q) ×%d)", kind, n.term, len(n.grams))
+}
+
+type planAnd []planNode
+
+func (n planAnd) candidates(src PostingSource) (*CandidateSet, bool) {
+	var acc *CandidateSet
+	got := false
+	for _, kid := range n {
+		set, ok := kid.candidates(src)
+		if !ok {
+			continue // this child cannot prune; the others still restrict
+		}
+		if !got {
+			acc, got = set, true
+			continue
+		}
+		acc = intersectSets(acc, set)
+	}
+	return acc, got
+}
+
+func (n planAnd) prunable() bool {
+	for _, kid := range n {
+		if kid.prunable() {
+			return true
+		}
+	}
+	return false
+}
+
+func (n planAnd) collectGrams(into map[string]struct{}) {
+	for _, kid := range n {
+		kid.collectGrams(into)
+	}
+}
+
+func (n planAnd) render(sb *strings.Builder) { renderPlanList(sb, "and", n) }
+
+type planOr []planNode
+
+func (n planOr) candidates(src PostingSource) (*CandidateSet, bool) {
+	acc := NewCandidateSet()
+	for _, kid := range n {
+		set, ok := kid.candidates(src)
+		if !ok {
+			return nil, false // one unprunable branch admits any document
+		}
+		for id := range set.ids { // union in place: one pass per child
+			acc.ids[id] = struct{}{}
+		}
+	}
+	return acc, true
+}
+
+func (n planOr) prunable() bool {
+	for _, kid := range n {
+		if !kid.prunable() {
+			return false
+		}
+	}
+	return true
+}
+
+func (n planOr) collectGrams(into map[string]struct{}) {
+	for _, kid := range n {
+		kid.collectGrams(into)
+	}
+}
+
+func (n planOr) render(sb *strings.Builder) { renderPlanList(sb, "or", n) }
+
+func renderPlanList(sb *strings.Builder, name string, kids []planNode) {
+	sb.WriteString(name)
+	sb.WriteString("(")
+	for i, kid := range kids {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		kid.render(sb)
+	}
+	sb.WriteString(")")
+}
+
+// buildPlan lowers an expr tree into plan nodes, folding away branches
+// that cannot influence pruning.
+func buildPlan(e expr, leaves []leaf, gramSize int) planNode {
+	switch t := e.(type) {
+	case constExpr:
+		if bool(t) {
+			return planAll{reason: "matches every document"}
+		}
+		return planNone{}
+	case leafExpr:
+		lf := leaves[t]
+		grams := termGrams(lf.term, gramSize)
+		if len(grams) == 0 {
+			return planAll{reason: fmt.Sprintf("term %q shorter than gram size %d", lf.term, gramSize)}
+		}
+		return planGrams{term: lf.term, mode: lf.mode, grams: grams}
+	case notExpr:
+		// P(not q) > 0 for any document with P(q) < 1; the index records
+		// possible readings, not certain ones, so negation never prunes.
+		return planAll{reason: "negation cannot prune"}
+	case andExpr:
+		kids := make([]planNode, 0, len(t))
+		for _, kid := range t {
+			k := buildPlan(kid, leaves, gramSize)
+			if _, none := k.(planNone); none {
+				return planNone{} // a false conjunct kills the whole branch
+			}
+			if _, all := k.(planAll); all {
+				continue // an unprunable conjunct just drops out
+			}
+			kids = append(kids, k)
+		}
+		switch len(kids) {
+		case 0:
+			return planAll{reason: "no conjunct can prune"}
+		case 1:
+			return kids[0]
+		}
+		return planAnd(kids)
+	case orExpr:
+		kids := make([]planNode, 0, len(t))
+		for _, kid := range t {
+			k := buildPlan(kid, leaves, gramSize)
+			if all, isAll := k.(planAll); isAll {
+				return all // one unprunable disjunct admits any document
+			}
+			if _, none := k.(planNone); none {
+				continue // a false disjunct contributes nothing
+			}
+			kids = append(kids, k)
+		}
+		switch len(kids) {
+		case 0:
+			return planNone{}
+		case 1:
+			return kids[0]
+		}
+		return planOr(kids)
+	default:
+		return planAll{reason: "unknown expression"}
+	}
+}
+
+// termGrams returns every q-rune window of term, deduplicated and sorted;
+// empty when the term is shorter than q runes.
+func termGrams(term string, q int) []string {
+	runes := []rune(term)
+	if len(runes) < q {
+		return nil
+	}
+	set := make(map[string]struct{}, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		set[string(runes[i:i+q])] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

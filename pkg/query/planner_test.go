@@ -1,0 +1,334 @@
+package query_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/index"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// fakeSource records lookups and serves canned posting results.
+type fakeSource struct {
+	byGram map[string][]string
+	calls  [][]string
+}
+
+func (f *fakeSource) Candidates(grams []string) ([]string, bool) {
+	f.calls = append(f.calls, grams)
+	if len(grams) == 0 {
+		return nil, false
+	}
+	// Intersect the per-gram doc lists.
+	count := map[string]int{}
+	for _, g := range grams {
+		for _, id := range f.byGram[g] {
+			count[id]++
+		}
+	}
+	var out []string
+	for id, n := range count {
+		if n == len(grams) {
+			out = append(out, id)
+		}
+	}
+	return out, true
+}
+
+// mustQ unwraps a compile result; the terms in this file are all valid,
+// so a failure is a test bug worth a panic.
+func mustQ(q *query.Query, err error) *query.Query {
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func TestPlanLeafGrams(t *testing.T) {
+	q := mustQ(query.Substring("abcd"))
+	plan := q.Plan(3)
+	if !plan.Prunable() {
+		t.Fatal("substring leaf of 4 runes should be prunable at q=3")
+	}
+	if plan.NumGrams() != 2 {
+		t.Errorf("NumGrams = %d, want 2 (abc, bcd)", plan.NumGrams())
+	}
+	src := &fakeSource{byGram: map[string][]string{"abc": {"d1", "d2"}, "bcd": {"d2", "d3"}}}
+	cand := plan.Candidates(src)
+	if cand == nil {
+		t.Fatal("expected a candidate set")
+	}
+	if got := cand.IDs(); !reflect.DeepEqual(got, []string{"d2"}) {
+		t.Errorf("candidates = %v, want [d2]", got)
+	}
+}
+
+func TestPlanShortTermCannotPrune(t *testing.T) {
+	q := mustQ(query.Substring("ab"))
+	plan := q.Plan(3)
+	if plan.Prunable() {
+		t.Error("2-rune term must not prune at q=3")
+	}
+	if cand := plan.Candidates(&fakeSource{}); cand != nil {
+		t.Errorf("candidates = %v, want nil (scan all)", cand.IDs())
+	}
+	if !strings.Contains(plan.String(), "scan(") {
+		t.Errorf("plan %q should render a scan branch", plan.String())
+	}
+}
+
+func TestPlanNotCannotPrune(t *testing.T) {
+	q := query.Not(mustQ(query.Substring("abcd")))
+	plan := q.Plan(3)
+	if plan.Prunable() {
+		t.Error("negation must not prune")
+	}
+	if cand := plan.Candidates(&fakeSource{}); cand != nil {
+		t.Errorf("candidates = %v, want nil", cand.IDs())
+	}
+}
+
+func TestPlanAndIntersectsOrUnions(t *testing.T) {
+	src := &fakeSource{byGram: map[string][]string{
+		"aaa": {"d1", "d2"},
+		"bbb": {"d2", "d3"},
+	}}
+	a := mustQ(query.Substring("aaa"))
+	b := mustQ(query.Substring("bbb"))
+
+	and := query.And(a, b).Plan(3).Candidates(src)
+	if got := and.IDs(); !reflect.DeepEqual(got, []string{"d2"}) {
+		t.Errorf("AND candidates = %v, want [d2]", got)
+	}
+	or := query.Or(a, b).Plan(3).Candidates(src)
+	if got := or.IDs(); !reflect.DeepEqual(got, []string{"d1", "d2", "d3"}) {
+		t.Errorf("OR candidates = %v, want [d1 d2 d3]", got)
+	}
+}
+
+func TestPlanAndWithUnprunableConjunctStillPrunes(t *testing.T) {
+	src := &fakeSource{byGram: map[string][]string{"aaa": {"d1"}}}
+	q := query.And(mustQ(query.Substring("aaa")), mustQ(query.Substring("x")))
+	cand := q.Plan(3).Candidates(src)
+	if cand == nil {
+		t.Fatal("AND with one prunable conjunct should still prune")
+	}
+	if got := cand.IDs(); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Errorf("candidates = %v, want [d1]", got)
+	}
+}
+
+func TestPlanOrWithUnprunableDisjunctScans(t *testing.T) {
+	src := &fakeSource{byGram: map[string][]string{"aaa": {"d1"}}}
+	q := query.Or(mustQ(query.Substring("aaa")), mustQ(query.Substring("x")))
+	if cand := q.Plan(3).Candidates(src); cand != nil {
+		t.Errorf("OR with an unprunable disjunct must scan; got %v", cand.IDs())
+	}
+}
+
+func TestPlanConstFalsePrunesEverything(t *testing.T) {
+	// A nil operand is the documented constant-false query.
+	cand := query.And(nil).Plan(3).Candidates(&fakeSource{})
+	if cand == nil || cand.Len() != 0 {
+		t.Errorf("const-false plan: candidates = %v, want empty set", cand)
+	}
+	// Its negation matches everything and cannot prune.
+	if c := query.Not(nil).Plan(3).Candidates(&fakeSource{}); c != nil {
+		t.Errorf("not(false) should scan; got %v", c.IDs())
+	}
+}
+
+func TestPlanGramSizeDisabled(t *testing.T) {
+	q := mustQ(query.Substring("abcd"))
+	if q.Plan(0).Prunable() {
+		t.Error("gramSize 0 must disable pruning")
+	}
+}
+
+// buildRandomQuery assembles a random boolean query from terms drawn from
+// the corpus truths plus junk, exercising substring/keyword leaves, all
+// combinators, and sub-gram-size terms.
+func buildRandomQuery(t *testing.T, rng *rand.Rand, truths []string, depth int) *query.Query {
+	t.Helper()
+	pickTerm := func() string {
+		if rng.Intn(4) == 0 {
+			junk := []string{"zq", "xvz", "qqqq", "zzzzz", "a"}
+			return junk[rng.Intn(len(junk))]
+		}
+		truth := truths[rng.Intn(len(truths))]
+		n := 2 + rng.Intn(6)
+		if n > len(truth) {
+			n = len(truth)
+		}
+		i := rng.Intn(len(truth) - n + 1)
+		return truth[i : i+n]
+	}
+	leaf := func() *query.Query {
+		term := pickTerm()
+		if rng.Intn(3) == 0 {
+			kw := strings.TrimSpace(term)
+			if kw == "" || strings.ContainsRune(kw, ' ') {
+				kw = "word"
+			}
+			return mustQ(query.Keyword(kw))
+		}
+		return mustQ(query.Substring(term))
+	}
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return leaf()
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return query.And(buildRandomQuery(t, rng, truths, depth-1), buildRandomQuery(t, rng, truths, depth-1))
+	case 1:
+		return query.Or(buildRandomQuery(t, rng, truths, depth-1), buildRandomQuery(t, rng, truths, depth-1))
+	default:
+		return query.Not(buildRandomQuery(t, rng, truths, depth-1))
+	}
+}
+
+// TestPlannerNoFalseNegatives is the planner's load-bearing property:
+// over random boolean queries on a generated corpus, every document with
+// nonzero match probability appears in the candidate set whenever the
+// plan prunes at all.
+func TestPlannerNoFalseNegatives(t *testing.T) {
+	const gramSize = 3
+	cases, err := testgen.Docs(40, testgen.Config{Length: 30, Seed: 21}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.New(gramSize)
+	truths := make([]string, len(cases))
+	for i, c := range cases {
+		ix.Add(c.Doc)
+		truths[i] = c.Truth
+	}
+	rng := rand.New(rand.NewSource(77))
+	pruned := 0
+	for trial := 0; trial < 200; trial++ {
+		q := buildRandomQuery(t, rng, truths, 3)
+		cand := q.Plan(gramSize).Candidates(ix)
+		if cand == nil {
+			continue
+		}
+		pruned++
+		for _, c := range cases {
+			p := q.Eval(c.Doc)
+			if p > 0 && !cand.Has(c.Doc.ID) {
+				t.Fatalf("trial %d: query %s: doc %s has P=%v but was pruned (plan %s)",
+					trial, q.String(), c.Doc.ID, p, q.Plan(gramSize).String())
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("no trial produced a prunable plan; the test is vacuous")
+	}
+}
+
+// TestEngineSearchByteIdenticalWithCandidates runs the same query with
+// and without planner candidates and requires identical Search output —
+// the engine half of the byte-identical acceptance criterion — plus
+// coherent stats.
+func TestEngineSearchByteIdenticalWithCandidates(t *testing.T) {
+	const gramSize = 3
+	ctx := context.Background()
+	cases, err := testgen.Docs(60, testgen.Config{Length: 30, Seed: 31}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewMemStore()
+	ix := index.New(gramSize)
+	truths := make([]string, len(cases))
+	for i, c := range cases {
+		if err := st.Put(ctx, c.Doc); err != nil {
+			t.Fatal(err)
+		}
+		ix.Add(c.Doc)
+		truths[i] = c.Truth
+	}
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 4})
+	rng := rand.New(rand.NewSource(5))
+	prunedRuns := 0
+	for trial := 0; trial < 50; trial++ {
+		q := buildRandomQuery(t, rng, truths, 2)
+		cand := q.Plan(gramSize).Candidates(ix)
+		var stats query.SearchStats
+		withIdx, err := eng.Search(ctx, q, query.SearchOptions{Candidates: cand, Stats: &stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := eng.Search(ctx, q, query.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(withIdx, without) {
+			t.Fatalf("trial %d: query %s: results differ\n with: %+v\n without: %+v",
+				trial, q.String(), withIdx, without)
+		}
+		if stats.DocsTotal != len(cases) || stats.DocsScanned+stats.DocsPruned != stats.DocsTotal {
+			t.Fatalf("trial %d: incoherent stats %+v", trial, stats)
+		}
+		if cand != nil && stats.DocsPruned != len(cases)-cand.Len() {
+			t.Fatalf("trial %d: pruned %d, want %d", trial, stats.DocsPruned, len(cases)-cand.Len())
+		}
+		if stats.DocsPruned > 0 {
+			prunedRuns++
+		}
+	}
+	if prunedRuns == 0 {
+		t.Fatal("no run pruned anything; the test is vacuous")
+	}
+}
+
+// TestForEachPrunedStreamsZeroForPruned checks the ForEach contract under
+// pruning: every document still gets exactly one Result, in ID order,
+// with pruned documents reported at probability zero.
+func TestForEachPrunedStreamsZeroForPruned(t *testing.T) {
+	ctx := context.Background()
+	cases, err := testgen.Docs(20, testgen.Config{Length: 25, Seed: 41}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewMemStore()
+	ix := index.New(3)
+	for _, c := range cases {
+		if err := st.Put(ctx, c.Doc); err != nil {
+			t.Fatal(err)
+		}
+		ix.Add(c.Doc)
+	}
+	// A term from one doc's MAP string: selective, so most docs prune.
+	term := cases[7].Doc.MAP()[5:11]
+	q := mustQ(query.Substring(term))
+	cand := q.Plan(3).Candidates(ix)
+	if cand == nil {
+		t.Fatal("expected a candidate set")
+	}
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 3})
+	var got []query.Result
+	err = eng.ForEachPruned(ctx, q, cand, nil, func(r query.Result) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cases) {
+		t.Fatalf("streamed %d results, want %d", len(got), len(cases))
+	}
+	var plain []query.Result
+	if err := eng.ForEach(ctx, q, func(r query.Result) error {
+		plain = append(plain, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plain) {
+		t.Fatalf("pruned stream differs from plain stream\n pruned: %+v\n plain:  %+v", got, plain)
+	}
+}

@@ -29,11 +29,11 @@
 //
 // Corpus-scale execution lives in Engine, which runs one compiled Query
 // against every document in a store.DocStore through a worker pool and
-// streams ranked Results.
-//
-// The free functions Eval, SubstringProb, KeywordProb, and
-// FSTSubstringProb predate the Query type and are retained as deprecated
-// thin wrappers for one release.
+// streams ranked Results. Query.Plan extracts the conservatively
+// required gram sets from the compiled formula; evaluated against an
+// inverted q-gram index (any PostingSource), the resulting CandidateSet
+// lets the Engine skip documents that provably cannot match, with
+// byte-identical results either way.
 package query
 
 import (

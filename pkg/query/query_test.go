@@ -21,6 +21,33 @@ func doc(chunks ...[]staccato.Alt) *staccato.Doc {
 	return d
 }
 
+// substrProb, kwProb, and fstSubstrProb are the compiled-Query forms of
+// the deleted v1 free functions, kept as test helpers so the table tests
+// below stay term-oriented.
+func substrProb(d *staccato.Doc, term string) (float64, error) {
+	q, err := query.Substring(term)
+	if err != nil {
+		return 0, err
+	}
+	return q.Eval(d), nil
+}
+
+func kwProb(d *staccato.Doc, term string) (float64, error) {
+	q, err := query.Keyword(term)
+	if err != nil {
+		return 0, err
+	}
+	return q.Eval(d), nil
+}
+
+func fstSubstrProb(f *fst.SFST, term string) (float64, error) {
+	q, err := query.Substring(term)
+	if err != nil {
+		return 0, err
+	}
+	return q.EvalFST(f)
+}
+
 func approx(t *testing.T, name string, got, want float64) {
 	t.Helper()
 	if math.Abs(got-want) > 1e-12 {
@@ -40,7 +67,7 @@ func TestSubstringWithinChunk(t *testing.T) {
 		{"hello", 0.8},
 		{"xyz", 0},
 	} {
-		p, err := query.SubstringProb(d, tc.term)
+		p, err := substrProb(d, tc.term)
 		if err != nil {
 			t.Fatalf("%q: %v", tc.term, err)
 		}
@@ -54,13 +81,13 @@ func TestSubstringSpansChunkBoundary(t *testing.T) {
 		[]staccato.Alt{{Text: "cd", Prob: 0.7}, {Text: "xd", Prob: 0.3}},
 	)
 	// "bc" requires first chunk "ab" and second "cd": 0.5 * 0.7.
-	p, err := query.SubstringProb(d, "bc")
+	p, err := substrProb(d, "bc")
 	if err != nil {
 		t.Fatal(err)
 	}
 	approx(t, `P(bc)`, p, 0.35)
 	// "xx" spans as ...x + x...: "ax" then "xd": 0.5 * 0.3.
-	p, err = query.SubstringProb(d, "xx")
+	p, err = substrProb(d, "xx")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +100,7 @@ func TestSubstringThreeChunkSpan(t *testing.T) {
 		[]staccato.Alt{{Text: "b", Prob: 0.6}, {Text: "q", Prob: 0.4}},
 		[]staccato.Alt{{Text: "c", Prob: 0.5}, {Text: "y", Prob: 0.5}},
 	)
-	p, err := query.SubstringProb(d, "abc")
+	p, err := substrProb(d, "abc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,33 +111,37 @@ func TestSubstringDoesNotDoubleCount(t *testing.T) {
 	// Both alternatives contain "a"; probability must be exactly 1, not
 	// the sum of per-occurrence masses.
 	d := doc([]staccato.Alt{{Text: "aa", Prob: 0.5}, {Text: "ba", Prob: 0.5}})
-	p, err := query.SubstringProb(d, "a")
+	p, err := substrProb(d, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	approx(t, "P(a)", p, 1)
 }
 
-func TestEvalSortsByProbability(t *testing.T) {
+func TestCompiledTermsAcrossAlternatives(t *testing.T) {
 	d := doc([]staccato.Alt{{Text: "abc", Prob: 0.6}, {Text: "abd", Prob: 0.4}})
-	ms, err := query.Eval(d, []string{"abd", "ab", "zz"}, query.ModeSubstring)
-	if err != nil {
-		t.Fatal(err)
+	for _, tc := range []struct {
+		term string
+		want float64
+	}{
+		{"ab", 1},
+		{"abd", 0.4},
+		{"zz", 0},
+	} {
+		p, err := substrProb(d, tc.term)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.term, err)
+		}
+		approx(t, "P("+tc.term+")", p, tc.want)
 	}
-	if len(ms) != 3 || ms[0].Term != "ab" || ms[1].Term != "abd" || ms[2].Term != "zz" {
-		t.Fatalf("Eval order = %+v", ms)
-	}
-	approx(t, "P(ab)", ms[0].Prob, 1)
-	approx(t, "P(abd)", ms[1].Prob, 0.4)
-	approx(t, "P(zz)", ms[2].Prob, 0)
 }
 
 func TestEmptyTermRejected(t *testing.T) {
 	d := doc([]staccato.Alt{{Text: "x", Prob: 1}})
-	if _, err := query.SubstringProb(d, ""); err == nil {
+	if _, err := substrProb(d, ""); err == nil {
 		t.Error("empty substring term should be rejected")
 	}
-	if _, err := query.KeywordProb(d, ""); err == nil {
+	if _, err := kwProb(d, ""); err == nil {
 		t.Error("empty keyword term should be rejected")
 	}
 }
@@ -127,7 +158,7 @@ func TestKeywordBoundaries(t *testing.T) {
 		{"category", 0.5}, // whole token at end
 		{"at", 0},         // interior substring only
 	} {
-		p, err := query.KeywordProb(d, tc.term)
+		p, err := kwProb(d, tc.term)
 		if err != nil {
 			t.Fatalf("%q: %v", tc.term, err)
 		}
@@ -142,13 +173,13 @@ func TestKeywordSpansChunkBoundary(t *testing.T) {
 	)
 	// "cat" assembles from "big ca" + "t nap" only: 0.6 * 0.5. The
 	// "ca"+"ttle " combination spells "cattle", which must not match.
-	p, err := query.KeywordProb(d, "cat")
+	p, err := kwProb(d, "cat")
 	if err != nil {
 		t.Fatal(err)
 	}
 	approx(t, "keyword P(cat)", p, 0.3)
 	// "cattle" spans the boundary as a whole token.
-	p, err = query.KeywordProb(d, "cattle")
+	p, err = kwProb(d, "cattle")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +188,7 @@ func TestKeywordSpansChunkBoundary(t *testing.T) {
 
 func TestKeywordRejectsNonWordTerm(t *testing.T) {
 	d := doc([]staccato.Alt{{Text: "x", Prob: 1}})
-	if _, err := query.KeywordProb(d, "two words"); err == nil {
+	if _, err := kwProb(d, "two words"); err == nil {
 		t.Error("keyword term with a space should be rejected")
 	}
 }
@@ -166,13 +197,13 @@ func TestKeywordRepeatedToken(t *testing.T) {
 	// After "foofoo" fails the right-boundary check, a later clean "foo"
 	// token must still match.
 	d := doc([]staccato.Alt{{Text: "foofoo foo", Prob: 1}})
-	p, err := query.KeywordProb(d, "foo")
+	p, err := kwProb(d, "foo")
 	if err != nil {
 		t.Fatal(err)
 	}
 	approx(t, "keyword P(foo)", p, 1)
 	d2 := doc([]staccato.Alt{{Text: "foofoo", Prob: 1}})
-	p, err = query.KeywordProb(d2, "foo")
+	p, err = kwProb(d2, "foo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +233,7 @@ func TestFSTSubstringMatchesBruteForce(t *testing.T) {
 				}
 			}
 			want /= total
-			got, err := query.FSTSubstringProb(f, probe)
+			got, err := fstSubstrProb(f, probe)
 			if err != nil {
 				t.Fatalf("seed %d %q: %v", seed, probe, err)
 			}
@@ -242,7 +273,7 @@ func TestDocQueryMatchesBruteForce(t *testing.T) {
 				want += probs[i]
 			}
 		}
-		got, err := query.SubstringProb(d, probe)
+		got, err := substrProb(d, probe)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -54,11 +54,13 @@ func BenchmarkQuerySubstring(b *testing.B) {
 		b.Fatal(err)
 	}
 	term := truth[500:505]
+	q, err := query.Substring(term)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := query.SubstringProb(doc, term); err != nil {
-			b.Fatal(err)
-		}
+		q.Eval(doc)
 	}
 }

@@ -307,9 +307,13 @@ func TestRecallDial(t *testing.T) {
 			nProbes++
 			inMAP := strings.Contains(mapStr, probe)
 			pStac := docContainsProb(t, doc, probe)
-			pFull, err := query.FSTSubstringProb(c.FST, probe)
+			fq, err := query.Substring(probe)
 			if err != nil {
-				t.Fatalf("case %d: FSTSubstringProb: %v", ci, err)
+				t.Fatalf("case %d: compile %q: %v", ci, probe, err)
+			}
+			pFull, err := fq.EvalFST(c.FST)
+			if err != nil {
+				t.Fatalf("case %d: EvalFST: %v", ci, err)
 			}
 			if inMAP {
 				nMAP++

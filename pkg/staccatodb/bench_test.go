@@ -1,0 +1,132 @@
+package staccatodb_test
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// The indexed-vs-scan benchmark pair quantifies the PR's headline win: a
+// selective substring query over a 500-doc disk corpus answered through
+// posting-list intersection versus a full decode-and-evaluate scan.
+// scripts/bench_engine.sh turns the two into BENCH_index.json.
+const (
+	benchCorpusDocs = 500
+	benchDocLen     = 40
+	benchChunks     = 5
+	benchK          = 3
+)
+
+var (
+	benchOnce sync.Once
+	benchDir  string
+	benchTerm string
+	benchErr  error
+)
+
+// TestMain removes the shared benchmark corpus (which outlives any one
+// benchmark because of the sync.Once sharing) when the test binary
+// exits, so repeated runs don't accumulate temp directories.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+	os.Exit(code)
+}
+
+// benchCorpus ingests the shared 500-doc corpus once per test binary and
+// picks a selective query term: a 7-rune slice of one document's MAP
+// string, long enough that its gram intersection names only a handful of
+// candidates.
+func benchCorpus(b *testing.B) (string, string) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDir, benchErr = os.MkdirTemp("", "staccatodb-bench-*")
+		if benchErr != nil {
+			return
+		}
+		ctx := context.Background()
+		var db *staccatodb.DB
+		db, benchErr = staccatodb.Open(benchDir, staccatodb.WithNoSync())
+		if benchErr != nil {
+			return
+		}
+		defer db.Close()
+		var batch []*staccato.Doc
+		benchErr = testgen.EachDoc(benchCorpusDocs,
+			testgen.Config{Length: benchDocLen, Seed: 101}, benchChunks, benchK,
+			func(dc testgen.DocCase) error {
+				if dc.Doc.ID == "doc-0250" {
+					benchTerm = dc.Doc.MAP()[10:17]
+				}
+				batch = append(batch, dc.Doc)
+				if len(batch) >= 128 {
+					if err := db.Ingest(ctx, batch); err != nil {
+						return err
+					}
+					batch = batch[:0]
+				}
+				return nil
+			})
+		if benchErr == nil {
+			benchErr = db.Ingest(ctx, batch)
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDir, benchTerm
+}
+
+func benchSearch(b *testing.B, opts ...staccatodb.Option) {
+	b.Helper()
+	dir, term := benchCorpus(b)
+	ctx := context.Background()
+	db, err := staccatodb.Open(dir, append([]staccatodb.Option{staccatodb.WithNoSync()}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	q, err := query.Substring(term)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastStats query.SearchStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, stats, err := db.Search(ctx, q, query.SearchOptions{TopN: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("selective query matched nothing; benchmark term is broken")
+		}
+		lastStats = stats
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lastStats.DocsPruned), "pruned_docs")
+	b.ReportMetric(float64(lastStats.DocsTotal), "total_docs")
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N)*float64(benchCorpusDocs)/b.Elapsed().Seconds(), "docs/s")
+	}
+}
+
+// BenchmarkSearchIndexed answers the selective query through the planner
+// and the inverted index.
+func BenchmarkSearchIndexed(b *testing.B) {
+	benchSearch(b)
+}
+
+// BenchmarkSearchScan answers the same query with the index disabled —
+// the full decode-and-evaluate scan the planner exists to avoid.
+func BenchmarkSearchScan(b *testing.B) {
+	benchSearch(b, staccatodb.WithoutIndex())
+}

@@ -1,0 +1,66 @@
+package staccatodb_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// Example_openIngestSearch is the package's front-door lifecycle: open a
+// database directory, ingest a corpus in one durable batch, and run an
+// indexed probabilistic search — all through the single DB handle.
+func Example_openIngestSearch() {
+	dir, err := os.MkdirTemp("", "staccatodb-example-*")
+	if err != nil {
+		fmt.Println("tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	db, err := staccatodb.Open(dir)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	defer db.Close()
+
+	// Build a small synthetic OCR corpus at the (chunks=4, k=3) dial.
+	var docs []*staccato.Doc
+	err = testgen.EachDoc(30, testgen.Config{Length: 30, Seed: 8}, 4, 3,
+		func(dc testgen.DocCase) error {
+			docs = append(docs, dc.Doc)
+			return nil
+		})
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	if err := db.Ingest(ctx, docs); err != nil {
+		fmt.Println("ingest:", err)
+		return
+	}
+
+	// Search for a term planted from one document's most probable reading.
+	term := docs[11].MAP()[6:12]
+	q, err := query.Substring(term)
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	results, stats, err := db.Search(ctx, q, query.SearchOptions{TopN: 3})
+	if err != nil {
+		fmt.Println("search:", err)
+		return
+	}
+	fmt.Printf("top hit: %s\n", results[0].DocID)
+	fmt.Printf("pruned %d of %d docs without reading them\n", stats.DocsPruned, stats.DocsTotal)
+	// Output:
+	// top hit: doc-0012
+	// pruned 29 of 30 docs without reading them
+}

@@ -125,6 +125,9 @@ func (s *Store) Compact(ctx context.Context) error {
 	s.order = newOrder
 	s.index = newRefs
 	s.active = newSegs[newOrder[len(newOrder)-1]]
+	// The rewritten segments hold exactly one record per live document, so
+	// the op count a future replay would compute starts over from there.
+	s.ops = uint64(len(newRefs))
 	if flipSyncErr != nil {
 		return fmt.Errorf("diskstore: compaction committed, but making it durable failed: %w (old segments kept; the next successful Open sweeps them)", flipSyncErr)
 	}

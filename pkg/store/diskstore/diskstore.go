@@ -73,6 +73,33 @@ const (
 	maxPayloadSize  = 1 << 30 // larger lengths mean a corrupt frame
 )
 
+// CommitOp is one operation of a durable commit, as seen by a commit
+// hook: a put carries the decoded document, a delete carries only the ID.
+type CommitOp struct {
+	ID string
+	// Doc is the decoded document for puts and nil for deletes. The hook
+	// must not retain it past the call.
+	Doc *staccato.Doc
+}
+
+// CommitState fingerprints the store's on-disk write history: the total
+// number of records in the live segments (superseded puts and tombstones
+// included), their total byte size, and the active segment's number.
+// Ops and Bytes only ever grow between compactions; a compaction resets
+// them but allocates fresh, strictly higher segment numbers, so Seg
+// guarantees a post-compaction state can never collide with any stamp
+// taken before it (Ops and Bytes alone could coincide by size accident).
+// Derived structures — notably the inverted index kept by pkg/staccatodb
+// — persist the state they were built against and compare it on reopen:
+// any mismatch (a write made without the derived structure attached, a
+// torn tail truncated during replay, a compaction) marks the structure
+// stale.
+type CommitState struct {
+	Ops   uint64
+	Bytes int64
+	Seg   uint64
+}
+
 // Options configure Open. The zero value is ready to use.
 type Options struct {
 	// MaxSegmentBytes rolls the active segment to a fresh file once it
@@ -84,6 +111,24 @@ type Options struct {
 	// recent commits. The record framing keeps the store openable either
 	// way.
 	NoSync bool
+	// PrepareCommit, if non-nil alongside OnCommit, runs on the writing
+	// goroutine BEFORE the store's write lock is taken, with the decoded
+	// operations of the commit about to be attempted; whatever it returns
+	// is handed to OnCommit verbatim. Expensive derivation — index entry
+	// extraction, serialization — belongs here so it never serializes
+	// readers or other writers. It must not assume the commit will
+	// succeed.
+	PrepareCommit func(ops []CommitOp) any
+	// OnCommit, if non-nil, is invoked after every durable commit — one
+	// Put, one Delete, or one Batch.Commit — with the operations just
+	// applied, PrepareCommit's result (nil if no PrepareCommit), and the
+	// store's new CommitState. It runs with the store's write lock held,
+	// so it sees commits in exactly the order they become durable and no
+	// other commit can interleave; it must be fast and must not call back
+	// into the store. A returned error is reported to the writer, but the
+	// commit itself is already durable — the hook cannot veto it, only
+	// observe it.
+	OnCommit func(ops []CommitOp, prepared any, state CommitState) error
 }
 
 func (o Options) withDefaults() Options {
@@ -123,10 +168,14 @@ type Store struct {
 	segs   map[uint64]*segment
 	order  []uint64 // manifest order; last entry is the active segment
 	active *segment
+	ops    uint64 // records in live segments, superseded and tombstones included
 	closed bool
 }
 
-var _ store.DocStore = (*Store)(nil)
+var (
+	_ store.DocStore = (*Store)(nil)
+	_ store.IDLister = (*Store)(nil)
+)
 
 // Open opens (creating if necessary) the store in dir and rebuilds the
 // in-memory index by replaying the live segments. Torn tails are
@@ -292,8 +341,10 @@ loop:
 		switch kind {
 		case recPut:
 			s.index[id] = recordRef{seg: num, off: off + frameHeaderSize, n: int(plen)}
+			s.ops++
 		case recDelete:
 			delete(s.index, id)
+			s.ops++
 		default:
 			if frameEnd == fileSize {
 				torn = true
@@ -359,14 +410,18 @@ type op struct {
 
 // writeOps appends the ops' records to the active segment (rolling to new
 // segments as MaxSegmentBytes requires), fsyncs every touched file once,
-// and only then applies the index updates. The caller must hold s.mu.
+// and only then applies the index updates. The caller must hold s.mu and,
+// when a commit hook is registered, must supply hookOps (one CommitOp per
+// op, decoded documents for puts) and the PrepareCommit result, both
+// built before taking the lock, so hook preparation never costs time
+// under the write lock.
 //
 // A commit is not atomic across ops: if the write or sync fails partway,
 // records already durable on disk will replay on the next Open even
 // though the in-memory index was not updated. writeOps makes a
 // best-effort truncate back to the starting offset in the common
 // single-segment case to keep memory and disk consistent after errors.
-func (s *Store) writeOps(ops []op) error {
+func (s *Store) writeOps(ops []op, hookOps []CommitOp, prepared any) error {
 	if s.closed {
 		return ErrClosed
 	}
@@ -436,7 +491,77 @@ func (s *Store) writeOps(ops []op) error {
 			delete(s.index, o.id)
 		}
 	}
+	s.ops += uint64(len(ops))
+	if s.opts.OnCommit != nil && len(hookOps) > 0 {
+		if err := s.opts.OnCommit(hookOps, prepared, s.commitStateLocked()); err != nil {
+			return fmt.Errorf("diskstore: commit durable, but the commit hook failed: %w", err)
+		}
+	}
 	return nil
+}
+
+// hookOpsFor builds the CommitOp slice for a pending op list, decoding
+// put payloads back into documents. Returns nil when no hook is
+// registered. Callers run this before taking s.mu.
+func (s *Store) hookOpsFor(ops []op) ([]CommitOp, error) {
+	if s.opts.OnCommit == nil {
+		return nil, nil
+	}
+	out := make([]CommitOp, len(ops))
+	for i, o := range ops {
+		out[i] = CommitOp{ID: o.id}
+		if o.kind == recPut {
+			doc, err := store.Decode(o.doc)
+			if err != nil {
+				// The payload round-tripped through Encode moments ago; a
+				// decode failure here is a bug, not an I/O condition.
+				return nil, fmt.Errorf("diskstore: decoding %q for the commit hook: %w", o.id, err)
+			}
+			out[i].Doc = doc
+		}
+	}
+	return out, nil
+}
+
+// commitStateLocked computes the current CommitState. Callers hold s.mu.
+func (s *Store) commitStateLocked() CommitState {
+	st := CommitState{Ops: s.ops}
+	for _, seg := range s.segs {
+		st.Bytes += seg.size
+	}
+	if s.active != nil {
+		st.Seg = s.active.num
+	}
+	return st
+}
+
+// CommitState returns the store's current write-history fingerprint; see
+// the type's documentation for how derived structures use it.
+func (s *Store) CommitState() CommitState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commitStateLocked()
+}
+
+// ListDocIDs returns every live document ID in ascending order without
+// reading document bodies, implementing the optional store.IDLister
+// capability the query engine's pruned scan path relies on.
+func (s *Store) ListDocIDs(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	ids := make([]string, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids, nil
 }
 
 // Put stores doc durably, replacing any existing document with the same
@@ -450,9 +575,19 @@ func (s *Store) Put(ctx context.Context, doc *staccato.Doc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The hook sees the caller's own document: Put is synchronous, so the
+	// pointer is valid for the call's duration and no decode is needed.
+	var hookOps []CommitOp
+	var prepared any
+	if s.opts.OnCommit != nil {
+		hookOps = []CommitOp{{ID: doc.ID, Doc: doc}}
+		if s.opts.PrepareCommit != nil {
+			prepared = s.opts.PrepareCommit(hookOps)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.writeOps([]op{o})
+	return s.writeOps([]op{o}, hookOps, prepared)
 }
 
 // Get returns the document with the given ID, or store.ErrNotFound.
@@ -500,6 +635,18 @@ func (s *Store) Delete(ctx context.Context, id string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Hook preparation runs before the lock, per the PrepareCommit
+	// contract — even though the presence check below may turn the whole
+	// call into a no-op (PrepareCommit must not assume the commit
+	// happens, and OnCommit then never fires).
+	var hookOps []CommitOp
+	var prepared any
+	if s.opts.OnCommit != nil {
+		hookOps = []CommitOp{{ID: id}}
+		if s.opts.PrepareCommit != nil {
+			prepared = s.opts.PrepareCommit(hookOps)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -508,7 +655,7 @@ func (s *Store) Delete(ctx context.Context, id string) error {
 	if _, ok := s.index[id]; !ok {
 		return nil
 	}
-	return s.writeOps([]op{{kind: recDelete, id: id}})
+	return s.writeOps([]op{{kind: recDelete, id: id}}, hookOps, prepared)
 }
 
 // Scan visits all documents in ascending ID order. The snapshot of IDs is

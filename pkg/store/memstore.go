@@ -19,7 +19,10 @@ type MemStore struct {
 	docs map[string][]byte
 }
 
-var _ DocStore = (*MemStore)(nil)
+var (
+	_ DocStore = (*MemStore)(nil)
+	_ IDLister = (*MemStore)(nil)
+)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
@@ -68,6 +71,22 @@ func (m *MemStore) Delete(ctx context.Context, id string) error {
 	defer m.mu.Unlock()
 	delete(m.docs, id)
 	return nil
+}
+
+// ListDocIDs returns every stored document ID in ascending order without
+// decoding documents, implementing the optional IDLister capability.
+func (m *MemStore) ListDocIDs(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.docs))
+	for id := range m.docs {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Strings(ids)
+	return ids, nil
 }
 
 // Len returns the number of stored documents.

@@ -40,3 +40,16 @@ type DocStore interface {
 	// error ends the scan and is returned.
 	Scan(ctx context.Context, fn func(doc *staccato.Doc) error) error
 }
+
+// IDLister is an optional DocStore capability: listing every stored
+// document ID in ascending order without reading or decoding document
+// bodies. Query planners use it to skip pruned documents entirely —
+// a store that implements IDLister never pays decode cost for a document
+// the planner proved cannot match. Both MemStore and diskstore.Store
+// implement it.
+type IDLister interface {
+	// ListDocIDs returns the IDs of all stored documents in ascending
+	// order. The listing is a snapshot: concurrent writes may or may not
+	// be reflected.
+	ListDocIDs(ctx context.Context) ([]string, error)
+}

@@ -238,3 +238,26 @@ func TestMemStoreContextCancelled(t *testing.T) {
 		t.Error("Get ignored cancelled context")
 	}
 }
+
+// TestMemStoreListDocIDs covers the IDLister capability on the
+// reference backend: ascending order, no decode, deletes reflected.
+func TestMemStoreListDocIDs(t *testing.T) {
+	ctx := context.Background()
+	m := store.NewMemStore()
+	for _, id := range []string{"b", "a", "c"} {
+		if err := m.Put(ctx, sampleDoc(t, id, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	var lister store.IDLister = m
+	ids, err := lister.ListDocIDs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"b", "c"}) {
+		t.Errorf("ListDocIDs = %v, want [b c]", ids)
+	}
+}

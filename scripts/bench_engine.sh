@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# bench_engine.sh — run the engine and diskstore benchmarks and emit
-# machine-readable points on the perf trajectory:
+# bench_engine.sh — run the engine, diskstore, and index benchmarks and
+# emit machine-readable points on the perf trajectory:
 #   BENCH_engine.json     engine ns/op at 1, 4, and 8 workers
 #   BENCH_diskstore.json  batched vs unbatched ingest docs/s, cold-open
 #                         reindex, scan throughput vs MemStore
+#   BENCH_index.json      indexed vs full-scan selective query over a
+#                         500-doc corpus: ns/op, speedup, docs pruned
 #
-# Usage: scripts/bench_engine.sh [engine.json] [diskstore.json]
+# Usage: scripts/bench_engine.sh [engine.json] [diskstore.json] [index.json]
 #   BENCHTIME=20x scripts/bench_engine.sh   # override iteration count
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out_file="${1:-BENCH_engine.json}"
 disk_out_file="${2:-BENCH_diskstore.json}"
+index_out_file="${3:-BENCH_index.json}"
 benchtime="${BENCHTIME:-10x}"
 
 raw=$(go test ./pkg/query -run '^$' -bench 'BenchmarkEngineSearch' \
@@ -66,3 +69,39 @@ echo "$disk_raw" | awk -v out="$disk_out_file" '
 '
 echo "wrote $disk_out_file:"
 cat "$disk_out_file"
+
+index_raw=$(go test ./pkg/staccatodb -run '^$' -bench 'BenchmarkSearch' \
+	-benchtime "$benchtime" -count 1)
+echo "$index_raw"
+
+echo "$index_raw" | awk -v out="$index_out_file" '
+	# BenchmarkSearchIndexed-8  20  335190 ns/op  1491693 docs/s  499.0 pruned_docs  500.0 total_docs ...
+	function metric(name,   i) {
+		for (i = 3; i < NF; i++) {
+			if ($(i + 1) == name) return $i
+		}
+		return ""
+	}
+	/^BenchmarkSearchIndexed/ {
+		idx_ns = $3
+		idx_pruned = metric("pruned_docs")
+		idx_total = metric("total_docs")
+	}
+	/^BenchmarkSearchScan/ { scan_ns = $3 }
+	END {
+		if (idx_ns == "" || scan_ns == "" || idx_pruned == "" || idx_total == "") {
+			print "bench_engine.sh: missing index benchmark in output" > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n" > out
+		printf "  \"benchmark\": \"IndexedSearch\",\n" > out
+		printf "  \"corpus_docs\": %d,\n", idx_total > out
+		printf "  \"indexed_ns\": %s,\n", idx_ns > out
+		printf "  \"scan_ns\": %s,\n", scan_ns > out
+		printf "  \"docs_pruned\": %d,\n", idx_pruned > out
+		printf "  \"pruned_speedup\": %.2f\n", scan_ns / idx_ns > out
+		printf "}\n" > out
+	}
+'
+echo "wrote $index_out_file:"
+cat "$index_out_file"
