@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+)
+
+// TestSearchVerboseModeStatsEndToEnd is the CLI acceptance scenario for
+// candidate-only execution: ingest → search -v on a temp-dir store. A
+// selective query must report mode=candidate-only with candidates
+// fetched ≪ corpus; -noindex must report mode=scan with identical
+// results; and after the index log is deleted, `staccato index` must
+// rebuild it and the same search must again run candidate-only with
+// byte-identical output.
+func TestSearchVerboseModeStatsEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	icfg := ingestConfig{store: dir, docs: 40, length: 40, seed: 19, chunks: 5, k: 3, batch: 9}
+	if _, err := runIngest(&strings.Builder{}, icfg); err != nil {
+		t.Fatal(err)
+	}
+	cases, err := testgen.Docs(icfg.docs, testgen.Config{Length: icfg.length, Seed: icfg.seed}, icfg.chunks, icfg.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := searchConfig{
+		store: dir, workers: 2, top: 10, mode: "substring", combine: "and",
+		verbose: true, terms: []string{cases[21].Doc.MAP()[8:15]},
+	}
+
+	var out strings.Builder
+	rep, err := runSearch(&out, scfg)
+	if err != nil {
+		t.Fatalf("runSearch: %v\noutput:\n%s", err, out.String())
+	}
+	if rep.mode != query.ExecCandidateOnly {
+		t.Fatalf("selective indexed search ran mode=%q, want %q\noutput:\n%s",
+			rep.mode, query.ExecCandidateOnly, out.String())
+	}
+	if rep.fetched == 0 || rep.fetched >= icfg.docs/2 {
+		t.Fatalf("candidates fetched = %d, want selective (0 < fetched ≪ %d)", rep.fetched, icfg.docs)
+	}
+	if rep.fetched+rep.pruned != icfg.docs {
+		t.Fatalf("fetched %d + pruned %d != corpus %d", rep.fetched, rep.pruned, icfg.docs)
+	}
+	for _, want := range []string{"mode=candidate-only", "candidates fetched:", "plan:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-v output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The same query with the index off: mode=scan, identical results.
+	scanCfg := scfg
+	scanCfg.noIndex = true
+	var scanOut strings.Builder
+	scanRep, err := runSearch(&scanOut, scanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanRep.mode != query.ExecScan || scanRep.fetched != 0 {
+		t.Fatalf("-noindex search: mode=%q fetched=%d, want %q/0", scanRep.mode, scanRep.fetched, query.ExecScan)
+	}
+	if !strings.Contains(scanOut.String(), "mode=scan") {
+		t.Errorf("-noindex -v output missing mode=scan:\n%s", scanOut.String())
+	}
+	if !reflect.DeepEqual(scanRep.results, rep.results) {
+		t.Fatalf("scan results differ from candidate-only results:\n scan %+v\n cand %+v", scanRep.results, rep.results)
+	}
+
+	// Delete the index log, rebuild through the index subcommand, and
+	// re-run: candidate-only again, byte-identical again.
+	if err := os.Remove(filepath.Join(dir, "INDEX")); err != nil {
+		t.Fatal(err)
+	}
+	var xout strings.Builder
+	xrep, err := runIndex(&xout, indexConfig{store: dir})
+	if err != nil {
+		t.Fatalf("runIndex: %v\noutput:\n%s", err, xout.String())
+	}
+	if xrep.stats.IndexDocs != icfg.docs {
+		t.Fatalf("rebuilt index covers %d docs, want %d", xrep.stats.IndexDocs, icfg.docs)
+	}
+	var out2 strings.Builder
+	rep2, err := runSearch(&out2, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.mode != query.ExecCandidateOnly || !reflect.DeepEqual(rep2, rep) {
+		t.Fatalf("post-rebuild search differs:\n before %+v\n after  %+v\noutput:\n%s", rep, rep2, out2.String())
+	}
+
+	// Through the real command line too: the -v flag must reach the
+	// planner stats printer.
+	var flagOut strings.Builder
+	if err := searchMain(&flagOut, []string{"-store", dir, "-v", "-top", "10", scfg.terms[0]}); err != nil {
+		t.Fatalf("searchMain: %v", err)
+	}
+	if !strings.Contains(flagOut.String(), "mode=candidate-only") {
+		t.Errorf("searchMain -v output missing mode line:\n%s", flagOut.String())
+	}
+}

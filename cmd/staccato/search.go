@@ -43,6 +43,8 @@ type searchReport struct {
 	query   string
 	scanned int
 	pruned  int
+	mode    query.ExecMode
+	fetched int
 	results []query.Result
 }
 
@@ -222,6 +224,8 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	}
 	rep.results = results
 	rep.pruned = stats.DocsPruned
+	rep.mode = stats.Mode
+	rep.fetched = stats.CandidatesFetched
 	elapsed := time.Since(searchStart)
 	fmt.Fprintf(w, "engine: elapsed=%v", elapsed.Round(time.Microsecond))
 	if elapsed > 0 {
@@ -229,8 +233,9 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	}
 	fmt.Fprintln(w)
 	if cfg.verbose {
-		fmt.Fprintf(w, "planner: %d evaluated, %d pruned of %d docs (index used: %v, %d grams)\n",
-			stats.DocsScanned, stats.DocsPruned, stats.DocsTotal, stats.IndexUsed, stats.PlanGrams)
+		fmt.Fprintf(w, "planner: mode=%s, %d evaluated, %d pruned of %d docs (candidates fetched: %d, index used: %v, %d grams)\n",
+			stats.Mode, stats.DocsScanned, stats.DocsPruned, stats.DocsTotal,
+			stats.CandidatesFetched, stats.IndexUsed, stats.PlanGrams)
 	}
 
 	if len(rep.results) == 0 {

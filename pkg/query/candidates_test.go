@@ -1,0 +1,245 @@
+package query_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/index"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// plainStore hides MemStore's optional capabilities behind the bare
+// DocStore interface, forcing the engine onto its fallback paths.
+type plainStore struct{ inner *store.MemStore }
+
+func (p plainStore) Put(ctx context.Context, doc *staccato.Doc) error { return p.inner.Put(ctx, doc) }
+func (p plainStore) Get(ctx context.Context, id string) (*staccato.Doc, error) {
+	return p.inner.Get(ctx, id)
+}
+func (p plainStore) Delete(ctx context.Context, id string) error { return p.inner.Delete(ctx, id) }
+func (p plainStore) Scan(ctx context.Context, fn func(doc *staccato.Doc) error) error {
+	return p.inner.Scan(ctx, fn)
+}
+
+// candidateCorpus builds a MemStore + matching index + truth list.
+func candidateCorpus(t *testing.T, n int, seed int64) (*store.MemStore, *index.Index, []string) {
+	t.Helper()
+	ctx := context.Background()
+	cases, err := testgen.Docs(n, testgen.Config{Length: 30, Seed: seed}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewMemStore()
+	ix := index.New(3)
+	truths := make([]string, len(cases))
+	for i, c := range cases {
+		if err := st.Put(ctx, c.Doc); err != nil {
+			t.Fatal(err)
+		}
+		ix.Add(c.Doc)
+		truths[i] = c.Truth
+	}
+	return st, ix, truths
+}
+
+// TestSearchCandidatesByteIdenticalToSearch is the tentpole's engine
+// contract: for random boolean queries whose plans prune,
+// SearchCandidates returns byte-identical output to both the full-scan
+// and the pruned-scan Search paths, at 1, 2, and 8 workers, with and
+// without the store's BatchGetter capability.
+func TestSearchCandidatesByteIdenticalToSearch(t *testing.T) {
+	ctx := context.Background()
+	st, ix, truths := candidateCorpus(t, 60, 71)
+	rng := rand.New(rand.NewSource(7))
+	prunedRuns := 0
+	for trial := 0; trial < 40; trial++ {
+		q := buildRandomQuery(t, rng, truths, 2)
+		cand := q.Plan(3).Candidates(ix)
+		if cand == nil {
+			continue // unprunable plan: SearchCandidates is not offered one
+		}
+		prunedRuns++
+		opts := query.SearchOptions{MinProb: float64(trial%3) * 0.05, TopN: trial % 7}
+		for _, workers := range []int{1, 2, 8} {
+			eng := query.NewEngine(st, query.EngineOptions{Workers: workers})
+			fullScan, err := eng.Search(ctx, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prunedOpts := opts
+			prunedOpts.Candidates = cand
+			prunedScan, err := eng.Search(ctx, q, prunedOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stats query.SearchStats
+			candOpts := opts
+			candOpts.Stats = &stats
+			candOnly, err := eng.SearchCandidates(ctx, q, cand, candOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(candOnly, fullScan) || !reflect.DeepEqual(candOnly, prunedScan) {
+				t.Fatalf("trial %d workers %d: query %s: modes disagree\n full:   %+v\n pruned: %+v\n cand:   %+v",
+					trial, workers, q.String(), fullScan, prunedScan, candOnly)
+			}
+			if stats.Mode != query.ExecCandidateOnly {
+				t.Fatalf("trial %d: Mode = %q, want %q", trial, stats.Mode, query.ExecCandidateOnly)
+			}
+			if stats.CandidatesFetched != cand.Len() || stats.DocsScanned != cand.Len() {
+				t.Fatalf("trial %d: fetched %d / scanned %d, want %d (no concurrent deletes)",
+					trial, stats.CandidatesFetched, stats.DocsScanned, cand.Len())
+			}
+
+			// The per-ID Get fallback must agree too.
+			plainEng := query.NewEngine(plainStore{inner: st}, query.EngineOptions{Workers: workers})
+			viaGet, err := plainEng.SearchCandidates(ctx, q, cand, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(viaGet, candOnly) {
+				t.Fatalf("trial %d: Get-fallback results differ from BatchGetter results\n get:   %+v\n batch: %+v",
+					trial, viaGet, candOnly)
+			}
+		}
+	}
+	if prunedRuns == 0 {
+		t.Fatal("no trial produced a candidate set; the test is vacuous")
+	}
+}
+
+// TestSearchCandidatesSkipsDeletedCandidate: a candidate deleted between
+// planning and execution is skipped — reported in CandidatesFetched as
+// absent, never an error — matching a scan ordered after the delete.
+func TestSearchCandidatesSkipsDeletedCandidate(t *testing.T) {
+	ctx := context.Background()
+	st, ix, _ := candidateCorpus(t, 20, 73)
+	ids, err := st.ListDocIDs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := st.Get(ctx, ids[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := doc.MAP()[5:11]
+	q := mustQ(query.Substring(term))
+	cand := q.Plan(3).Candidates(ix)
+	if cand == nil || !cand.Has(ids[7]) {
+		t.Fatalf("expected a candidate set containing %s; got %v", ids[7], cand.IDs())
+	}
+	if err := st.Delete(ctx, ids[7]); err != nil {
+		t.Fatal(err)
+	}
+	for _, victim := range []store.DocStore{st, plainStore{inner: st}} {
+		eng := query.NewEngine(victim, query.EngineOptions{Workers: 2})
+		var stats query.SearchStats
+		res, err := eng.SearchCandidates(ctx, q, cand, query.SearchOptions{Stats: &stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.DocID == ids[7] {
+				t.Fatalf("deleted doc %s still in results %+v", ids[7], res)
+			}
+		}
+		if stats.CandidatesFetched != cand.Len()-1 {
+			t.Fatalf("CandidatesFetched = %d, want %d (one candidate deleted)",
+				stats.CandidatesFetched, cand.Len()-1)
+		}
+	}
+}
+
+// TestSearchCandidatesEmptySetTouchesNothing: a plan that proves no
+// document can match yields an empty candidate set, and the engine must
+// return instantly without a single store read.
+func TestSearchCandidatesEmptySetTouchesNothing(t *testing.T) {
+	st, _, _ := candidateCorpus(t, 10, 79)
+	eng := query.NewEngine(failingGetStore{inner: st}, query.EngineOptions{Workers: 4})
+	var stats query.SearchStats
+	res, err := eng.SearchCandidates(context.Background(), mustQ(query.Substring("abcdef")),
+		query.NewCandidateSet(), query.SearchOptions{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 || stats.CandidatesFetched != 0 || stats.Mode != query.ExecCandidateOnly {
+		t.Fatalf("empty candidate set: res %+v stats %+v", res, stats)
+	}
+}
+
+// failingGetStore fails every read — proof that a code path never
+// touched the store.
+type failingGetStore struct{ inner *store.MemStore }
+
+func (f failingGetStore) Put(ctx context.Context, doc *staccato.Doc) error {
+	return f.inner.Put(ctx, doc)
+}
+func (f failingGetStore) Get(ctx context.Context, id string) (*staccato.Doc, error) {
+	return nil, errors.New("store read on a path that promised none")
+}
+func (f failingGetStore) Delete(ctx context.Context, id string) error {
+	return f.inner.Delete(ctx, id)
+}
+func (f failingGetStore) Scan(ctx context.Context, fn func(doc *staccato.Doc) error) error {
+	return errors.New("store scan on a path that promised none")
+}
+
+// TestSearchCandidatesValidation: nil query and nil candidate set are
+// contract violations, reported as errors rather than silent scans.
+func TestSearchCandidatesValidation(t *testing.T) {
+	st, _, _ := candidateCorpus(t, 5, 83)
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 2})
+	ctx := context.Background()
+	if _, err := eng.SearchCandidates(ctx, nil, query.NewCandidateSet("x"), query.SearchOptions{}); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := eng.SearchCandidates(ctx, mustQ(query.Substring("abc")), nil, query.SearchOptions{}); err == nil {
+		t.Error("nil candidate set accepted (would silently skip the whole corpus)")
+	}
+}
+
+// TestSearchCandidatesReadErrorPropagates: a store failure mid-run
+// cancels the whole call and surfaces the error.
+func TestSearchCandidatesReadErrorPropagates(t *testing.T) {
+	st, ix, _ := candidateCorpus(t, 20, 89)
+	ids, err := st.ListDocIDs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := st.Get(context.Background(), ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQ(query.Substring(doc.MAP()[4:10]))
+	cand := q.Plan(3).Candidates(ix)
+	if cand == nil || cand.Len() == 0 {
+		t.Fatal("expected a non-empty candidate set")
+	}
+	eng := query.NewEngine(failingGetStore{inner: st}, query.EngineOptions{Workers: 3})
+	if _, err := eng.SearchCandidates(context.Background(), q, cand, query.SearchOptions{}); err == nil {
+		t.Fatal("store read failure did not surface")
+	}
+}
+
+// TestSearchCandidatesCancelledContext: a pre-cancelled context aborts
+// the run with the context's error.
+func TestSearchCandidatesCancelledContext(t *testing.T) {
+	st, ix, truths := candidateCorpus(t, 20, 97)
+	q := mustQ(query.Substring(truths[0][0:6]))
+	cand := q.Plan(3).Candidates(ix)
+	if cand == nil {
+		cand = query.NewCandidateSet("doc-0001")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := query.NewEngine(st, query.EngineOptions{Workers: 2})
+	if _, err := eng.SearchCandidates(ctx, q, cand, query.SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

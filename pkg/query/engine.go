@@ -17,19 +17,50 @@ type Result struct {
 	Prob  float64
 }
 
+// ExecMode names the execution path a query run took.
+type ExecMode string
+
+const (
+	// ExecScan is the unrestricted path: every live document is read,
+	// decoded, and evaluated.
+	ExecScan ExecMode = "scan"
+	// ExecPrunedScan is ForEach's restricted path: the corpus ID list is
+	// still walked in full (the every-doc streaming contract needs a
+	// Result per document), but documents outside the candidate set are
+	// reported at probability zero without being read or evaluated.
+	ExecPrunedScan ExecMode = "pruned-scan"
+	// ExecCandidateOnly is Search's restricted path: only the candidate
+	// set's members are ever touched — no corpus ID listing, no
+	// zero-result synthesis — so cost scales with the candidate count,
+	// not the corpus size.
+	ExecCandidateOnly ExecMode = "candidate-only"
+)
+
 // SearchStats reports how a query executed: how much of the corpus the
 // planner pruned away versus how much the DP actually evaluated. The
-// engine fills the Docs* counters; callers that planned the query (such
-// as staccatodb.DB) fill the planner fields.
+// engine fills Mode and the Docs*/CandidatesFetched counters; callers
+// that planned the query (such as staccatodb.DB) fill the planner
+// fields — and, for candidate-only runs, the corpus-level DocsTotal and
+// DocsPruned the engine never observes.
 type SearchStats struct {
+	// Mode is the execution path the run took.
+	Mode ExecMode
 	// DocsTotal is the number of live documents the run considered —
-	// pruned and evaluated alike.
+	// pruned and evaluated alike. In candidate-only mode the engine
+	// never sees the corpus, so it leaves DocsTotal zero; staccatodb.DB
+	// fills it from the store's live-document count.
 	DocsTotal int
 	// DocsScanned is the number of documents the DP actually evaluated.
 	DocsScanned int
 	// DocsPruned is the number of documents skipped via the candidate set
-	// without being evaluated.
+	// without being evaluated. Filled by the caller in candidate-only
+	// mode, like DocsTotal.
 	DocsPruned int
+	// CandidatesFetched is the number of candidate documents fetched
+	// from the store in candidate-only mode (zero in the scan modes).
+	// It can run below the candidate set's size when a candidate was
+	// deleted between planning and fetching.
+	CandidatesFetched int
 	// IndexUsed reports whether a candidate set restricted the run at all.
 	IndexUsed bool
 	// PlanGrams is the number of distinct grams the planner consulted.
@@ -98,6 +129,12 @@ type SearchOptions struct {
 // DocID), filtered and truncated per opts. The ranking is fully
 // deterministic: the same store contents and query produce identical
 // results at any worker count, with or without a candidate set.
+//
+// Search walks the corpus even when opts.Candidates restricts it (the
+// pruned-scan path: non-candidates cost a set lookup each, never a read
+// or an evaluation). When the candidate set is already in hand and the
+// corpus walk itself is the cost worth avoiding, use SearchCandidates —
+// its output is byte-identical.
 func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Result, error) {
 	var out []Result
 	err := e.ForEachPruned(ctx, q, opts.Candidates, opts.Stats, func(r Result) error {
@@ -110,14 +147,158 @@ func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Re
 	if err != nil {
 		return nil, err
 	}
+	return rankResults(out, opts.TopN), nil
+}
+
+// rankResults orders matches by descending probability (ties by
+// ascending DocID) and applies the TopN cut — the one ranking both
+// Search paths share, which is what makes their outputs byte-identical.
+func rankResults(out []Result, topN int) []Result {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Prob != out[j].Prob {
 			return out[i].Prob > out[j].Prob
 		}
 		return out[i].DocID < out[j].DocID
 	})
-	if opts.TopN > 0 && len(out) > opts.TopN {
-		out = out[:opts.TopN]
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// candidateBatchSize is how many candidate IDs one SearchCandidates
+// worker job carries. Batching amortizes store locking and — through
+// store.BatchGetter — lets a disk backend sort the batch by record
+// offset into a near-sequential read; the size is small enough that a
+// handful of candidates still spreads across the pool.
+const candidateBatchSize = 64
+
+// SearchCandidates evaluates q against exactly the members of cand and
+// returns the matches ranked, filtered, and truncated exactly like
+// Search. cand must come from a Plan (or otherwise honor the
+// no-false-negative contract): because every document outside a plan's
+// candidate set has match probability zero and Search discards zero
+// results, SearchCandidates' output is byte-identical to Search's at
+// any worker count — while its cost scales with cand.Len(), not the
+// corpus size. No corpus ID list is materialized and no zero results
+// are synthesized; candidates are fetched by point lookup, batched
+// through store.BatchGetter when the store implements it. A candidate
+// deleted between planning and fetching is skipped, matching what a
+// scan started after the delete would return. opts.Candidates is
+// ignored (cand is the candidate set); opts.Stats, when non-nil,
+// receives Mode, DocsScanned, and CandidatesFetched — corpus-level
+// counters (DocsTotal, DocsPruned) are the caller's to fill, since the
+// whole point is that the engine never observes the corpus.
+func (e *Engine) SearchCandidates(ctx context.Context, q *Query, cand *CandidateSet, opts SearchOptions) ([]Result, error) {
+	if q == nil || q.expr == nil {
+		return nil, errors.New("query: SearchCandidates requires a compiled, non-nil Query")
+	}
+	if cand == nil {
+		return nil, errors.New("query: SearchCandidates requires a non-nil candidate set; use Search for unrestricted runs")
+	}
+	ids := cand.IDs() // ascending: deterministic batching, near-sequential disk reads
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	getter, batched := e.st.(store.BatchGetter)
+	var (
+		mu      sync.Mutex
+		out     []Result
+		fetched int
+	)
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	workers := e.workers
+	if n := (len(ids) + candidateBatchSize - 1) / candidateBatchSize; workers > n {
+		workers = n // never park workers that could have no batch to take
+	}
+	batches := make(chan []string)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []Result
+			evaluated := 0
+			for batch := range batches {
+				docs, err := e.fetchCandidates(ctx, getter, batched, batch)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, doc := range docs {
+					if ctx.Err() != nil {
+						return // bound cancellation latency to one evaluation
+					}
+					if doc == nil {
+						continue // deleted between planning and fetching
+					}
+					evaluated++
+					p := q.Eval(doc)
+					if p <= 0 || p < opts.MinProb {
+						continue
+					}
+					local = append(local, Result{DocID: doc.ID, Prob: p})
+				}
+			}
+			mu.Lock()
+			out = append(out, local...)
+			fetched += evaluated
+			mu.Unlock()
+		}()
+	}
+feed:
+	for start := 0; start < len(ids); start += candidateBatchSize {
+		end := start + candidateBatchSize
+		if end > len(ids) {
+			end = len(ids)
+		}
+		select {
+		case batches <- ids[start:end]:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(batches)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		opts.Stats.Mode = ExecCandidateOnly
+		opts.Stats.DocsScanned = fetched
+		opts.Stats.CandidatesFetched = fetched
+	}
+	return rankResults(out, opts.TopN), nil
+}
+
+// fetchCandidates reads one batch of candidate documents, through the
+// store's BatchGetter when it has one and by per-ID Get otherwise. The
+// returned slice is aligned with ids; missing documents are nil.
+func (e *Engine) fetchCandidates(ctx context.Context, getter store.BatchGetter, batched bool, ids []string) ([]*staccato.Doc, error) {
+	if batched {
+		return getter.GetBatch(ctx, ids)
+	}
+	out := make([]*staccato.Doc, len(ids))
+	for i, id := range ids {
+		doc, err := e.st.Get(ctx, id)
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			// skip: the candidate vanished between planning and fetching
+		case err != nil:
+			return nil, err
+		default:
+			out[i] = doc
+		}
 	}
 	return out, nil
 }
@@ -347,6 +528,10 @@ func (e *Engine) ForEachPruned(ctx context.Context, q *Query, cand *CandidateSet
 	}
 	feedWG.Wait() // happens-before for feedErr
 	if stats != nil {
+		stats.Mode = ExecScan
+		if cand != nil {
+			stats.Mode = ExecPrunedScan
+		}
 		stats.DocsTotal = runStats.DocsTotal
 		stats.DocsScanned = runStats.DocsScanned
 		stats.DocsPruned = runStats.DocsPruned

@@ -26,14 +26,18 @@
 //
 // # Query execution
 //
-// Search and ForEach extract a Plan from the compiled query, turn the
-// index's posting lists into a candidate document set, and hand it to the
-// engine, which skips — without reading, decoding, or evaluating —
-// every document the planner proved cannot match. The planner is
-// conservative (AND intersects, OR unions, NOT and sub-gram terms scan),
-// so results are byte-identical with the index enabled, disabled, or
-// absent; SearchStats reports how much was pruned so the speedup is
-// observable.
+// Search and ForEach extract a Plan from the compiled query and turn the
+// index's posting lists into a candidate document set. When the plan can
+// prune, Search runs candidate-only: the engine fetches exactly the
+// candidates by (batched) point lookup and never touches the rest of the
+// corpus, so a selective query costs O(candidates), not O(corpus).
+// ForEach keeps its every-document streaming contract and instead runs a
+// pruned scan, reporting non-candidates at probability zero without
+// reading them. The planner is conservative (AND intersects, OR unions,
+// NOT and sub-gram terms scan), so results are byte-identical across
+// every mode and with the index enabled, disabled, or absent;
+// SearchStats reports the mode taken and how much was pruned so the
+// speedup is observable.
 package staccatodb
 
 import (
@@ -385,19 +389,48 @@ func (db *DB) Get(ctx context.Context, id string) (*staccato.Doc, error) {
 // Search runs one compiled query against the corpus through the planner
 // and the parallel engine, returning the ranked matches (descending
 // probability, ties by ascending DocID) plus the execution stats —
-// how many documents the index pruned versus how many the DP evaluated.
-// Results are byte-identical whether the index is enabled, disabled, or
-// absent. opts.Candidates and opts.Stats are managed by the DB and
-// ignored if set by the caller.
+// the mode taken and how many documents the index pruned versus how
+// many the DP evaluated. When the planner produces a candidate set,
+// Search executes candidate-only (query.ExecCandidateOnly): only the
+// candidates are fetched and evaluated, so a selective query's cost
+// scales with its candidate count, not the corpus size. Otherwise it
+// falls back to the full scan. Results are byte-identical across both
+// modes and whether the index is enabled, disabled, or absent.
+// opts.Candidates and opts.Stats are managed by the DB and ignored if
+// set by the caller.
 func (db *DB) Search(ctx context.Context, q *query.Query, opts query.SearchOptions) ([]query.Result, query.SearchStats, error) {
 	var stats query.SearchStats
 	if db.isClosed() {
 		return nil, stats, ErrClosed
 	}
-	opts.Candidates = db.planCandidates(q, &stats)
+	cand := db.planCandidates(q, &stats)
+	opts.Candidates = nil
 	opts.Stats = &stats
-	res, err := db.eng.Search(ctx, q, opts)
-	return res, stats, err
+	if cand == nil {
+		res, err := db.eng.Search(ctx, q, opts)
+		return res, stats, err
+	}
+	res, err := db.eng.SearchCandidates(ctx, q, cand, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	// The engine never observed the corpus — that is the mode's point —
+	// so the corpus-level counters come from the store's live count.
+	// Concurrent writes can skew the arithmetic; clamp rather than
+	// report a negative prune count.
+	stats.DocsTotal = db.docCount()
+	if pruned := stats.DocsTotal - stats.DocsScanned; pruned > 0 {
+		stats.DocsPruned = pruned
+	}
+	return res, stats, nil
+}
+
+// docCount returns the store's live-document count without a scan.
+func (db *DB) docCount() int {
+	if db.disk != nil {
+		return db.disk.Len()
+	}
+	return db.mem.Len()
 }
 
 // ForEach streams one Result per document — probability zero included —
@@ -434,9 +467,10 @@ func (db *DB) planCandidates(q *query.Query, stats *query.SearchStats) *query.Ca
 	return cand
 }
 
-// Explain renders how q would execute right now: the pruning plan and,
-// when the index can prune, the candidate count against the current
-// corpus. It runs the planner but not the engine.
+// Explain renders how q would execute right now: the pruning plan,
+// the candidate count against the current corpus when the index can
+// prune, and the execution mode Search would take. It runs the planner
+// but not the engine.
 func (db *DB) Explain(q *query.Query) string {
 	db.mu.Lock()
 	ix := db.idx
@@ -445,14 +479,15 @@ func (db *DB) Explain(q *query.Query) string {
 		return "plan: none (nil query)"
 	}
 	if ix == nil {
-		return fmt.Sprintf("plan: full scan (no index)\nquery: %s", q.String())
+		return fmt.Sprintf("plan: full scan (no index)\nmode: %s\nquery: %s", query.ExecScan, q.String())
 	}
 	plan := q.Plan(ix.GramSize())
 	out := fmt.Sprintf("plan: %s\nindex: %d-gram over %d docs", plan.String(), ix.GramSize(), ix.Len())
 	if cand := plan.Candidates(ix); cand != nil {
-		out += fmt.Sprintf("\ncandidates: %d of %d docs", cand.Len(), ix.Len())
+		out += fmt.Sprintf("\ncandidates: %d of %d docs\nmode: %s (Search fetches only the candidates)",
+			cand.Len(), ix.Len(), query.ExecCandidateOnly)
 	} else {
-		out += "\ncandidates: all (plan cannot prune)"
+		out += fmt.Sprintf("\ncandidates: all (plan cannot prune)\nmode: %s", query.ExecScan)
 	}
 	return out
 }

@@ -1,0 +1,182 @@
+package staccatodb_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// rankLikeSearch applies Search's ranking (descending probability, ties
+// by ascending DocID) to results collected some other way, so outputs
+// can be compared byte-for-byte.
+func rankLikeSearch(rs []query.Result) []query.Result {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Prob != rs[j].Prob {
+			return rs[i].Prob > rs[j].Prob
+		}
+		return rs[i].DocID < rs[j].DocID
+	})
+	return rs
+}
+
+// TestSearchModesByteIdenticalProperty is this PR's acceptance property:
+// over random boolean queries, Search output is byte-identical across
+// the three execution modes — full scan (no index), pruned ForEach
+// (every-doc stream, zeros dropped and re-ranked), and candidate-only
+// (indexed Search) — at 1, 2, and 8 workers, on a fresh store, after
+// Delete+Compact, and after a torn-tail reopen forces a stale-index
+// rebuild.
+func TestSearchModesByteIdenticalProperty(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "db")
+	cases := corpus(t, 50, 61)
+	truths := make([]string, len(cases))
+	for i, c := range cases {
+		truths[i] = c.Truth
+	}
+	queries := randomQueries(truths, 77, 25)
+
+	runPhase := func(phase string) {
+		t.Helper()
+		candidateRuns := 0
+		// baseline: worker-count 1's candidate-only output; every other
+		// worker count and mode must reproduce it byte-for-byte.
+		var baseline [][]query.Result
+		for _, workers := range []int{1, 2, 8} {
+			db, err := staccatodb.Open(dir, staccatodb.WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", phase, workers, err)
+			}
+			for qi, q := range queries {
+				res, stats, err := db.Search(ctx, q, query.SearchOptions{})
+				if err != nil {
+					t.Fatalf("%s workers=%d query %d: %v", phase, workers, qi, err)
+				}
+				if stats.Mode == query.ExecCandidateOnly {
+					candidateRuns++
+					if stats.DocsScanned+stats.DocsPruned != stats.DocsTotal {
+						t.Fatalf("%s workers=%d query %d: incoherent candidate-only stats %+v",
+							phase, workers, qi, stats)
+					}
+					if stats.CandidatesFetched != stats.DocsScanned {
+						t.Fatalf("%s workers=%d query %d: fetched %d != scanned %d (no concurrent deletes)",
+							phase, workers, qi, stats.CandidatesFetched, stats.DocsScanned)
+					}
+				} else if stats.Mode != query.ExecScan {
+					t.Fatalf("%s workers=%d query %d: unexpected mode %q", phase, workers, qi, stats.Mode)
+				}
+
+				// Mode 2: pruned ForEach — the every-doc stream, reduced the
+				// way Search reduces it.
+				var kept []query.Result
+				streamed := 0
+				err = db.ForEach(ctx, q, func(r query.Result) error {
+					streamed++
+					if r.Prob > 0 {
+						kept = append(kept, r)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%s workers=%d query %d ForEach: %v", phase, workers, qi, err)
+				}
+				if streamed != stats.DocsTotal {
+					t.Fatalf("%s workers=%d query %d: ForEach streamed %d results, want every doc (%d)",
+						phase, workers, qi, streamed, stats.DocsTotal)
+				}
+				kept = rankLikeSearch(kept)
+				if !reflect.DeepEqual(res, kept) {
+					t.Fatalf("%s workers=%d query %s: candidate-only Search differs from pruned ForEach\n search:  %+v\n foreach: %+v",
+						phase, workers, q.String(), res, kept)
+				}
+
+				if workers == 1 {
+					baseline = append(baseline, res)
+				} else if !reflect.DeepEqual(res, baseline[qi]) {
+					t.Fatalf("%s query %s: workers=%d output differs from workers=1\n got:  %+v\n want: %+v",
+						phase, q.String(), workers, res, baseline[qi])
+				}
+			}
+			db.Close()
+
+			// Mode 3: full scan — index disabled entirely.
+			noIdx, err := staccatodb.Open(dir, staccatodb.WithoutIndex(), staccatodb.WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", phase, workers, err)
+			}
+			scanned := searchAll(t, noIdx, queries)
+			noIdx.Close()
+			for qi := range queries {
+				if !reflect.DeepEqual(scanned[qi], baseline[qi]) {
+					t.Fatalf("%s workers=%d query %s: full scan differs from candidate-only\n scan: %+v\n cand: %+v",
+						phase, workers, queries[qi].String(), scanned[qi], baseline[qi])
+				}
+			}
+		}
+		if candidateRuns == 0 {
+			t.Fatalf("%s: no query ran candidate-only; the property test is vacuous", phase)
+		}
+	}
+
+	// Phase 1: fresh corpus, ingested in several batches.
+	db, err := staccatodb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(cases); i += 13 {
+		end := i + 13
+		if end > len(cases) {
+			end = len(cases)
+		}
+		if err := db.Ingest(ctx, docsOf(cases[i:end])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+	runPhase("fresh")
+
+	// Phase 2: delete a slice, re-put a couple, compact.
+	db, err = staccatodb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases[15:23] {
+		if err := db.Delete(ctx, c.Doc.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Ingest(ctx, docsOf(cases[18:20])); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	runPhase("after delete+compact")
+
+	// Phase 3: tear the last segment's tail so the reopen truncates it
+	// and the stale index is rebuilt from a scan.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files (err=%v)", err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 4 {
+		t.Fatalf("last segment too small to tear (%d bytes)", fi.Size())
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	runPhase("after torn-tail rebuild")
+}

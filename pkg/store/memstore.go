@@ -20,8 +20,9 @@ type MemStore struct {
 }
 
 var (
-	_ DocStore = (*MemStore)(nil)
-	_ IDLister = (*MemStore)(nil)
+	_ DocStore    = (*MemStore)(nil)
+	_ IDLister    = (*MemStore)(nil)
+	_ BatchGetter = (*MemStore)(nil)
 )
 
 // NewMemStore returns an empty in-memory store.
@@ -71,6 +72,34 @@ func (m *MemStore) Delete(ctx context.Context, id string) error {
 	defer m.mu.Unlock()
 	delete(m.docs, id)
 	return nil
+}
+
+// GetBatch returns the documents for ids, aligned with the input (nil
+// for missing IDs), implementing the optional BatchGetter capability.
+// The lock is taken once for the whole batch; decoding happens outside
+// it.
+func (m *MemStore) GetBatch(ctx context.Context, ids []string) ([]*staccato.Doc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	encoded := make([][]byte, len(ids))
+	m.mu.RLock()
+	for i, id := range ids {
+		encoded[i] = m.docs[id]
+	}
+	m.mu.RUnlock()
+	out := make([]*staccato.Doc, len(ids))
+	for i, data := range encoded {
+		if data == nil {
+			continue
+		}
+		doc, err := Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = doc
+	}
+	return out, nil
 }
 
 // ListDocIDs returns every stored document ID in ascending order without

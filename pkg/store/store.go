@@ -53,3 +53,21 @@ type IDLister interface {
 	// be reflected.
 	ListDocIDs(ctx context.Context) ([]string, error)
 }
+
+// BatchGetter is an optional DocStore capability: fetching many
+// documents by ID in one call. It exists for the query engine's
+// candidate-only execution path, which turns a planner candidate set
+// into point lookups instead of a corpus scan — a batch lets the
+// backend amortize its locking and, for disk-backed stores, reorder the
+// reads by physical offset so a candidate set clustered in one segment
+// becomes a near-sequential read. Both MemStore and diskstore.Store
+// implement it.
+type BatchGetter interface {
+	// GetBatch returns the documents for ids, aligned with the input:
+	// out[i] is the document for ids[i], or nil when no document has
+	// that ID (a missing ID is not an error — candidate sets are
+	// snapshots, and a concurrent delete must not fail the whole batch).
+	// A non-nil error means the batch as a whole failed and out is
+	// meaningless.
+	GetBatch(ctx context.Context, ids []string) ([]*staccato.Doc, error)
+}
