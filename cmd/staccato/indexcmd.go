@@ -15,7 +15,8 @@ import (
 // indexConfig carries everything the index subcommand needs, so tests can
 // drive runIndex without a command line.
 type indexConfig struct {
-	store string
+	store   string
+	verbose bool
 }
 
 // indexReport captures the deterministic part of an index run.
@@ -28,6 +29,7 @@ func indexMain(w io.Writer, args []string) error {
 		"(re)build the inverted q-gram index for an existing database directory")
 	cfg := indexConfig{}
 	fs.StringVar(&cfg.store, "store", "", "directory of the database to index (required)")
+	fs.BoolVar(&cfg.verbose, "v", false, "also print the database stats as one JSON line (the /v1/stats \"db\" shape)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -69,5 +71,10 @@ func runIndex(w io.Writer, cfg indexConfig) (indexReport, error) {
 	fmt.Fprintf(w, "indexed %d docs (%d distinct grams, %d overflow) in %s in %v\n",
 		rep.stats.IndexDocs, rep.stats.IndexGrams, rep.stats.IndexOverflowDocs,
 		cfg.store, time.Since(start).Round(time.Millisecond))
+	if cfg.verbose {
+		if err := printStatsJSON(w, rep.stats); err != nil {
+			return rep, err
+		}
+	}
 	return rep, nil
 }

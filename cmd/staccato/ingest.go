@@ -25,6 +25,7 @@ type ingestConfig struct {
 	compact bool
 	noSync  bool
 	noIndex bool
+	verbose bool
 }
 
 // ingestReport captures the deterministic part of an ingest run.
@@ -47,6 +48,7 @@ func ingestMain(w io.Writer, args []string) error {
 	fs.BoolVar(&cfg.compact, "compact", false, "compact the store after ingesting")
 	fs.BoolVar(&cfg.noSync, "nosync", false, "skip fsync on commit (faster; an OS crash may lose recent batches)")
 	fs.BoolVar(&cfg.noIndex, "noindex", false, "do not build or maintain the inverted index (searches will scan; build later with staccato index)")
+	fs.BoolVar(&cfg.verbose, "v", false, "also print the database stats as one JSON line (the /v1/stats \"db\" shape)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -116,6 +118,11 @@ func runIngest(w io.Writer, cfg ingestConfig) (ingestReport, error) {
 		fmt.Fprintf(w, "index: %d docs, %d distinct grams\n", rep.stats.IndexDocs, rep.stats.IndexGrams)
 	} else {
 		fmt.Fprintln(w, "index: disabled (-noindex); build one with: staccato index -store", cfg.store)
+	}
+	if cfg.verbose {
+		if err := printStatsJSON(w, rep.stats); err != nil {
+			return rep, err
+		}
 	}
 	return rep, nil
 }

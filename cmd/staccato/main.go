@@ -1,10 +1,11 @@
 // Command staccato demonstrates the Staccato pipeline. It has four
-// subcommands:
+// subcommands, plus a pointer to the companion server binary:
 //
 //	staccato demo [flags]            single-document walkthrough (default)
 //	staccato ingest -store DIR       persist a synthetic corpus into a database
 //	staccato search [flags] TERM...  planner-pruned corpus search
 //	staccato index -store DIR        (re)build a database's inverted index
+//	staccato serve                   how to serve a database over HTTP (staccatod)
 //
 // demo generates one synthetic OCR transducer, builds approximated
 // documents at a chosen dial setting, persists them through a DocStore,
@@ -39,6 +40,13 @@
 // stale — the recovery tool for stores ingested with -noindex:
 //
 //	staccato index -store DIR
+//
+// Serving a database over the network is the companion binary's job:
+// staccatod exposes the same database directory over HTTP/JSON for
+// sustained concurrent traffic. `staccato serve` prints the handoff:
+//
+//	staccato ingest -store DIR        # build the corpus
+//	staccatod -store DIR -addr :8417  # serve it
 package main
 
 import (
@@ -104,6 +112,8 @@ func main() {
 		err = indexMain(os.Stdout, args[1:])
 	case len(args) > 0 && args[0] == "demo":
 		err = demoMain(os.Stdout, args[1:])
+	case len(args) > 0 && args[0] == "serve":
+		err = serveMain(os.Stdout, args[1:])
 	default:
 		// No subcommand: keep the historical behavior of running the demo.
 		err = demoMain(os.Stdout, args)
@@ -137,7 +147,7 @@ func demoMain(w io.Writer, args []string) error {
 	// The demo takes no positional arguments; rejecting them catches a
 	// mistyped subcommand before it silently runs the default demo.
 	if fs.NArg() > 0 {
-		return fmt.Errorf("demo: unexpected argument %q (subcommands are demo, ingest, index, and search)", fs.Arg(0))
+		return fmt.Errorf("demo: unexpected argument %q (subcommands are demo, ingest, index, search, and serve)", fs.Arg(0))
 	}
 	_, err := run(w, cfg)
 	return err

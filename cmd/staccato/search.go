@@ -214,6 +214,9 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	rep.scanned = docCount
 	fmt.Fprintf(w, "query: %s\n", rep.query)
 	if cfg.verbose {
+		if err := printStatsJSON(w, db.Stats()); err != nil {
+			return rep, err
+		}
 		fmt.Fprintln(w, db.Explain(q))
 	}
 

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// serveMain is a doc pointer, not an embedded server: serving is the
+// staccatod binary's job (long-running process, signal handling, its
+// own flag surface), and embedding a second copy here would fork the
+// two configurations. This subcommand exists so `staccato serve` — the
+// obvious guess — lands on the handoff instead of an unknown-command
+// error.
+func serveMain(w io.Writer, args []string) error {
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		args = args[1:]
+	}
+	fmt.Fprint(w, `serving is the staccatod binary's job; staccato serve only points the way:
+
+  staccato ingest -store DIR        # build a corpus (this binary)
+  staccatod -store DIR -addr :8417  # serve it over HTTP/JSON
+
+staccatod shares the database directory and the stats JSON shape with
+this CLI; run staccatod -h for its flags (admission limits, request
+timeouts, query cache size, drain behavior).
+`)
+	if len(args) > 0 {
+		return fmt.Errorf("serve: flags belong to staccatod; try: staccatod %s", strings.Join(args, " "))
+	}
+	return nil
+}

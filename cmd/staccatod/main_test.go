@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// TestStoreFlagValidation pins the clean-error contract the CLI
+// subcommands established: a missing flag and a typo'd directory fail
+// with the same message shapes as staccato ingest/search, before
+// anything touches the disk.
+func TestStoreFlagValidation(t *testing.T) {
+	ctx := context.Background()
+
+	err := runServe(ctx, io.Discard, serveConfig{})
+	if err == nil || !strings.Contains(err.Error(), "-store DIR is required") {
+		t.Errorf("no -store: err = %v, want \"-store DIR is required\"", err)
+	}
+
+	missing := t.TempDir() + "/nope"
+	err = runServe(ctx, io.Discard, serveConfig{store: missing})
+	if err == nil || !strings.Contains(err.Error(), "no store at "+missing) ||
+		!strings.Contains(err.Error(), "staccato ingest -store") {
+		t.Errorf("typo'd -store: err = %v, want the no-store-at message pointing at staccato ingest", err)
+	}
+}
+
+func TestUnexpectedArgumentRejected(t *testing.T) {
+	err := serveMain(context.Background(), io.Discard, []string{"serve"})
+	if err == nil || !strings.Contains(err.Error(), "unexpected argument") {
+		t.Errorf("err = %v, want unexpected-argument error", err)
+	}
+}
+
+// TestServeEndToEnd boots the real binary path — open store, listen,
+// serve, drain on cancel — against a pre-ingested directory, issues a
+// search over the wire, and confirms a clean signal-driven exit.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	db, err := staccatodb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := testgen.Docs(8, testgen.Config{Length: 40, Seed: 3}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*staccato.Doc, len(cases))
+	for i, c := range cases {
+		docs[i] = c.Doc
+	}
+	if err := db.Ingest(context.Background(), docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- runServe(ctx, &out, serveConfig{
+			store: dir,
+			addr:  "127.0.0.1:0",
+			ready: func(addr string) { addrCh <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	base := "http://" + addr
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	term := docs[0].MAP()[:4]
+	body, _ := json.Marshal(map[string]any{"terms": []string{term}, "top": 5})
+	resp, err = http.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d, body %s", resp.StatusCode, data)
+	}
+	var sr struct {
+		Results []struct {
+			DocID string  `json:"doc_id"`
+			Prob  float64 `json:"prob"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatalf("served search for %q returned no results: %s", term, data)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after cancel")
+	}
+	if !strings.Contains(out.String(), "stopped cleanly") {
+		t.Errorf("missing clean-shutdown line in output:\n%s", out.String())
+	}
+}

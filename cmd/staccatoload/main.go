@@ -1,0 +1,448 @@
+// Command staccatoload drives concurrent mixed read/write load at a
+// staccatod server and reports the serve path's place on the perf
+// trajectory: QPS, latency percentiles, error rate, and the admission
+// accounting (every 429 the clients saw, cross-checked against the
+// server's own rejection counter — a rejection that is not a counted
+// 429 is a bug this harness exists to catch).
+//
+//	staccatoload [-addr URL] [-clients N] [-duration D] [-writefrac F]
+//	             [-docs N] [-maxinflight N] [-out BENCH_serve.json]
+//
+// With -addr it targets a running staccatod. Without it the harness is
+// self-contained: it builds a temporary corpus, starts an in-process
+// server (pkg/server over a fresh disk store), runs the load against it
+// over real loopback HTTP, drains, and cleans up — which is how CI
+// produces BENCH_serve.json.
+//
+// Each client loops until the deadline: with probability -writefrac it
+// ingests one new document (unique ID, real index maintenance on the
+// commit path), otherwise it searches for a term drawn from a pool of
+// n-grams sampled from the corpus — repeat terms by construction, so
+// the compiled-query cache sees realistic hit rates.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/server"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+type loadConfig struct {
+	addr        string
+	clients     int
+	duration    time.Duration
+	writeFrac   float64
+	docs        int
+	length      int
+	chunks      int
+	k           int
+	seed        int64
+	top         int
+	maxInFlight int
+	out         string
+}
+
+// summary is the harness's result — both the human report and the
+// BENCH_serve.json artifact.
+type summary struct {
+	Benchmark     string  `json:"benchmark"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_sec"`
+	WriteFraction float64 `json:"write_fraction"`
+	CorpusDocs    int     `json:"corpus_docs"`
+
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Rejected429 int64   `json:"rejected_429"`
+	Errors      int64   `json:"errors"`
+	ErrorRate   float64 `json:"error_rate"`
+	QPS         float64 `json:"qps"`
+
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+
+	SearchP50MS float64 `json:"search_p50_ms"`
+	SearchP99MS float64 `json:"search_p99_ms"`
+	IngestP50MS float64 `json:"ingest_p50_ms"`
+	IngestP99MS float64 `json:"ingest_p99_ms"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// ServerRejected is the server's own 429 counter after the run;
+	// UnaccountedRejections = ServerRejected - Rejected429 and must be 0
+	// in self-serve mode (no other client exists to absorb the
+	// difference) — the zero-dropped-but-unreported check.
+	ServerRejected        int64 `json:"server_rejected"`
+	UnaccountedRejections int64 `json:"unaccounted_rejections"`
+}
+
+func main() {
+	if err := loadMain(os.Stdout, os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "staccatoload:", err)
+		os.Exit(1)
+	}
+}
+
+func loadMain(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("staccatoload", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: staccatoload [flags]\n  drive concurrent mixed read/write load at a staccatod server and emit BENCH_serve.json\n")
+		fs.PrintDefaults()
+	}
+	cfg := loadConfig{}
+	fs.StringVar(&cfg.addr, "addr", "", "target server base URL (empty = start a self-contained in-process server)")
+	fs.IntVar(&cfg.clients, "clients", 1000, "concurrent clients")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "load duration")
+	fs.Float64Var(&cfg.writeFrac, "writefrac", 0.1, "fraction of requests that are writes")
+	fs.IntVar(&cfg.docs, "docs", 500, "pre-ingested corpus size (self-serve mode)")
+	fs.IntVar(&cfg.length, "len", 40, "ground truth length of generated documents")
+	fs.IntVar(&cfg.chunks, "chunks", 4, "chunks per generated document")
+	fs.IntVar(&cfg.k, "k", 3, "paths kept per chunk")
+	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the corpus and workload")
+	fs.IntVar(&cfg.top, "top", 5, "top-k for search requests")
+	fs.IntVar(&cfg.maxInFlight, "maxinflight", server.DefaultMaxInFlight, "server admission limit (self-serve mode)")
+	fs.StringVar(&cfg.out, "out", "BENCH_serve.json", "output JSON path (empty = no file)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("invalid command line")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (staccatoload takes only flags)", fs.Arg(0))
+	}
+	if cfg.clients < 1 {
+		return fmt.Errorf("-clients must be >= 1, got %d", cfg.clients)
+	}
+	if cfg.writeFrac < 0 || cfg.writeFrac > 1 {
+		return fmt.Errorf("-writefrac must be in [0, 1], got %g", cfg.writeFrac)
+	}
+	sum, err := runLoad(w, cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.out)
+	}
+	return nil
+}
+
+// selfServe stands up the in-process target: temp-dir store, ingested
+// corpus, pkg/server on a loopback listener. It returns the base URL,
+// the sampled term pool, and a shutdown function that drains the server
+// and removes the directory.
+func selfServe(w io.Writer, cfg loadConfig) (string, []string, func() error, error) {
+	dir, err := os.MkdirTemp("", "staccatoload-*")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	fail := func(err error) (string, []string, func() error, error) {
+		os.RemoveAll(dir)
+		return "", nil, nil, err
+	}
+	// NoSync: the corpus is disposable, and the bench measures the serve
+	// path, not fsync latency on whatever disk CI provides.
+	db, err := staccatodb.Open(dir, staccatodb.WithNoSync())
+	if err != nil {
+		return fail(err)
+	}
+	var terms []string
+	batch := make([]*staccato.Doc, 0, 256)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := db.Ingest(context.Background(), batch)
+		batch = batch[:0]
+		return err
+	}
+	err = testgen.EachDoc(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k,
+		func(dc testgen.DocCase) error {
+			if len(terms) < 64 {
+				if m := dc.Doc.MAP(); len(m) >= 6 {
+					terms = append(terms, m[:3], m[len(m)/2:len(m)/2+3])
+				}
+			}
+			batch = append(batch, dc.Doc)
+			if len(batch) >= 256 {
+				return flush()
+			}
+			return nil
+		})
+	if err == nil {
+		err = flush()
+	}
+	if err != nil {
+		db.Close()
+		return fail(err)
+	}
+
+	srv := server.New(db, server.Options{MaxInFlight: cfg.maxInFlight})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		return fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	fmt.Fprintf(w, "self-serve: %d docs in %s, serving on http://%s (max in-flight %d)\n",
+		cfg.docs, dir, ln.Addr(), srv.Options().MaxInFlight)
+
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		err := srv.Shutdown(ctx)
+		os.RemoveAll(dir)
+		return err
+	}
+	return "http://" + ln.Addr().String(), terms, shutdown, nil
+}
+
+// clientAgg is one client's tally; clients never share state during the
+// run, so the hot loop takes no locks.
+type clientAgg struct {
+	requests, ok, rejected, errs int64
+	latAll, latSearch, latIngest []float64 // ms, successful requests only
+}
+
+func runLoad(w io.Writer, cfg loadConfig) (summary, error) {
+	var sum summary
+	target := cfg.addr
+	terms := []string{}
+	var shutdown func() error
+	if target == "" {
+		var err error
+		target, terms, shutdown, err = selfServe(w, cfg)
+		if err != nil {
+			return sum, err
+		}
+		defer func() {
+			if shutdown != nil {
+				shutdown()
+			}
+		}()
+	}
+	if len(terms) == 0 {
+		// Remote mode has no corpus in hand; lowercase trigrams still
+		// exercise planner + engine (most will prune to tiny candidate
+		// sets), and repeats still exercise the cache.
+		rng := rand.New(rand.NewSource(cfg.seed))
+		for i := 0; i < 64; i++ {
+			terms = append(terms, string([]byte{
+				byte('a' + rng.Intn(26)), byte('a' + rng.Intn(26)), byte('a' + rng.Intn(26)),
+			}))
+		}
+	}
+
+	// A pool of pre-built documents for the write path: writers clone one
+	// and stamp a unique ID, so every write is a real index-maintaining
+	// commit without paying SFST generation inside the measured loop.
+	writePool := make([]*staccato.Doc, 0, 32)
+	err := testgen.EachDoc(32, testgen.Config{Length: cfg.length, Seed: cfg.seed + 7777}, cfg.chunks, cfg.k,
+		func(dc testgen.DocCase) error {
+			writePool = append(writePool, dc.Doc)
+			return nil
+		})
+	if err != nil {
+		return sum, err
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.clients + 16,
+		MaxIdleConnsPerHost: cfg.clients + 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+	defer transport.CloseIdleConnections()
+
+	fmt.Fprintf(w, "load: %d clients, %v, write fraction %.2f, target %s\n",
+		cfg.clients, cfg.duration, cfg.writeFrac, target)
+
+	aggs := make([]clientAgg, cfg.clients)
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			agg := &aggs[c]
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*104729))
+			seq := 0
+			for time.Now().Before(deadline) {
+				var status int
+				var kind *[]float64
+				reqStart := time.Now()
+				if rng.Float64() < cfg.writeFrac {
+					doc := *writePool[rng.Intn(len(writePool))]
+					doc.ID = fmt.Sprintf("load-%d-%d", c, seq)
+					seq++
+					status = postJSON(client, target+"/v1/ingest",
+						map[string]any{"docs": []*staccato.Doc{&doc}})
+					kind = &agg.latIngest
+				} else {
+					spec := map[string]any{"terms": []string{terms[rng.Intn(len(terms))]}, "top": cfg.top}
+					if rng.Intn(8) == 0 { // occasional boolean query for cache-key variety
+						spec["terms"] = []string{terms[rng.Intn(len(terms))], terms[rng.Intn(len(terms))]}
+						spec["combine"] = "or"
+					}
+					status = postJSON(client, target+"/v1/search", spec)
+					kind = &agg.latSearch
+				}
+				ms := float64(time.Since(reqStart).Microseconds()) / 1000
+				agg.requests++
+				switch {
+				case status == http.StatusOK:
+					agg.ok++
+					agg.latAll = append(agg.latAll, ms)
+					*kind = append(*kind, ms)
+				case status == http.StatusTooManyRequests:
+					agg.rejected++
+					// Brief jittered backoff: a rejected closed-loop client
+					// hammering retries would measure the reject path, not
+					// the serve path.
+					time.Sleep(time.Duration(500+rng.Intn(1500)) * time.Microsecond)
+				default:
+					agg.errs++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all, search, ingest []float64
+	for i := range aggs {
+		sum.Requests += aggs[i].requests
+		sum.OK += aggs[i].ok
+		sum.Rejected429 += aggs[i].rejected
+		sum.Errors += aggs[i].errs
+		all = append(all, aggs[i].latAll...)
+		search = append(search, aggs[i].latSearch...)
+		ingest = append(ingest, aggs[i].latIngest...)
+	}
+	sum.Benchmark = "Serve"
+	sum.Clients = cfg.clients
+	sum.DurationSec = elapsed.Seconds()
+	sum.WriteFraction = cfg.writeFrac
+	sum.CorpusDocs = cfg.docs
+	if sum.Requests > 0 {
+		sum.ErrorRate = float64(sum.Errors) / float64(sum.Requests)
+	}
+	sum.QPS = float64(sum.OK) / elapsed.Seconds()
+	sum.P50MS, sum.P90MS, sum.P99MS = percentile(all, 0.50), percentile(all, 0.90), percentile(all, 0.99)
+	sum.SearchP50MS, sum.SearchP99MS = percentile(search, 0.50), percentile(search, 0.99)
+	sum.IngestP50MS, sum.IngestP99MS = percentile(ingest, 0.50), percentile(ingest, 0.99)
+
+	// Pull the server's own accounting and reconcile it with what the
+	// clients observed.
+	if st, err := fetchServerStats(client, target); err == nil {
+		sum.ServerRejected = st.Server.Rejected
+		sum.CacheHits = st.Server.QueryCache.Hits
+		sum.CacheMisses = st.Server.QueryCache.Misses
+		if n := sum.CacheHits + sum.CacheMisses; n > 0 {
+			sum.CacheHitRate = float64(sum.CacheHits) / float64(n)
+		}
+		sum.UnaccountedRejections = sum.ServerRejected - sum.Rejected429
+	} else {
+		fmt.Fprintf(w, "warning: could not fetch server stats: %v\n", err)
+	}
+
+	fmt.Fprintf(w, "done: %d requests in %.2fs — %d ok (%.0f qps), %d rejected (429), %d errors (rate %.4f)\n",
+		sum.Requests, sum.DurationSec, sum.OK, sum.QPS, sum.Rejected429, sum.Errors, sum.ErrorRate)
+	fmt.Fprintf(w, "latency ms: p50=%.2f p90=%.2f p99=%.2f (search p50=%.2f p99=%.2f, ingest p50=%.2f p99=%.2f)\n",
+		sum.P50MS, sum.P90MS, sum.P99MS, sum.SearchP50MS, sum.SearchP99MS, sum.IngestP50MS, sum.IngestP99MS)
+	fmt.Fprintf(w, "query cache: %d hits / %d misses (%.1f%% hit rate); server rejected %d (unaccounted: %d)\n",
+		sum.CacheHits, sum.CacheMisses, sum.CacheHitRate*100, sum.ServerRejected, sum.UnaccountedRejections)
+
+	if shutdown != nil {
+		err := shutdown()
+		shutdown = nil
+		if err != nil {
+			return sum, fmt.Errorf("server shutdown: %w", err)
+		}
+	}
+	return sum, nil
+}
+
+// postJSON posts v and returns the HTTP status, 0 on transport failure.
+// Bodies are drained so connections return to the pool.
+func postJSON(client *http.Client, url string, v any) int {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// statsShape is the slice of /v1/stats the harness reads.
+type statsShape struct {
+	Server struct {
+		Rejected   int64 `json:"rejected"`
+		QueryCache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"query_cache"`
+	} `json:"server"`
+}
+
+func fetchServerStats(client *http.Client, target string) (statsShape, error) {
+	var st statsShape
+	resp, err := client.Get(target + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// percentile returns the q-th percentile of values (ms), 0 when empty.
+func percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sort.Float64s(values)
+	i := int(q * float64(len(values)-1))
+	return values[i]
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLoadSelfServe is a small-scale end-to-end pass of the harness:
+// in-process server, real loopback HTTP, mixed read/write clients. It
+// doubles as the race-detector workout for the serve path under
+// concurrent load.
+func TestRunLoadSelfServe(t *testing.T) {
+	var out bytes.Buffer
+	sum, err := runLoad(&out, loadConfig{
+		clients:     32,
+		duration:    400 * time.Millisecond,
+		writeFrac:   0.2,
+		docs:        40,
+		length:      40,
+		chunks:      4,
+		k:           3,
+		seed:        11,
+		top:         5,
+		maxInFlight: 16,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if sum.Requests == 0 || sum.OK == 0 {
+		t.Fatalf("no successful requests: %+v\n%s", sum, out.String())
+	}
+	if sum.Errors != 0 {
+		t.Errorf("%d transport/server errors in a local run: %+v\n%s", sum.Errors, sum, out.String())
+	}
+	if sum.QPS <= 0 || sum.P50MS <= 0 || sum.P99MS < sum.P50MS {
+		t.Errorf("implausible latency summary: %+v", sum)
+	}
+	// The acceptance invariant: every admission rejection the server
+	// counted was observed by a client as a 429 — nothing dropped
+	// silently.
+	if sum.UnaccountedRejections != 0 {
+		t.Errorf("unaccounted rejections = %d (server counted %d, clients saw %d)",
+			sum.UnaccountedRejections, sum.ServerRejected, sum.Rejected429)
+	}
+	if sum.CacheHits == 0 {
+		t.Errorf("query cache saw no hits under a repeating term pool: %+v", sum)
+	}
+}
+
+// TestLoadMainWritesBenchJSON runs the full CLI path and checks the
+// BENCH_serve.json artifact has the fields CI and the perf trajectory
+// depend on.
+func TestLoadMainWritesBenchJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	err := loadMain(&buf, []string{
+		"-clients", "8", "-duration", "200ms", "-docs", "16", "-out", out,
+	})
+	if err != nil {
+		t.Fatalf("loadMain: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("BENCH_serve.json is not valid JSON: %v\n%s", err, data)
+	}
+	for _, key := range []string{"benchmark", "clients", "qps", "p50_ms", "p99_ms", "error_rate", "rejected_429", "unaccounted_rejections"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("BENCH_serve.json missing %q:\n%s", key, data)
+		}
+	}
+	if m["benchmark"] != "Serve" {
+		t.Errorf("benchmark = %v, want Serve", m["benchmark"])
+	}
+}
+
+func TestLoadMainFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-clients", "0"}, "-clients must be >= 1"},
+		{[]string{"-writefrac", "1.5"}, "-writefrac must be in [0, 1]"},
+		{[]string{"stray"}, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		err := loadMain(&bytes.Buffer{}, tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("loadMain(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -11,10 +11,11 @@ import (
 	"github.com/paper-repo/staccato-go/pkg/store"
 )
 
-// Result is one document's answer to a corpus query.
+// Result is one document's answer to a corpus query. The JSON form is
+// the wire shape of the staccatod search endpoint.
 type Result struct {
-	DocID string
-	Prob  float64
+	DocID string  `json:"doc_id"`
+	Prob  float64 `json:"prob"`
 }
 
 // ExecMode names the execution path a query run took.
@@ -42,31 +43,33 @@ const (
 // that planned the query (such as staccatodb.DB) fill the planner
 // fields — and, for candidate-only runs, the corpus-level DocsTotal and
 // DocsPruned the engine never observes.
+// The JSON form is the wire shape of the staccatod search and explain
+// endpoints.
 type SearchStats struct {
 	// Mode is the execution path the run took.
-	Mode ExecMode
+	Mode ExecMode `json:"mode"`
 	// DocsTotal is the number of live documents the run considered —
 	// pruned and evaluated alike. In candidate-only mode the engine
 	// never sees the corpus, so it leaves DocsTotal zero; staccatodb.DB
 	// fills it from the store's live-document count.
-	DocsTotal int
+	DocsTotal int `json:"docs_total"`
 	// DocsScanned is the number of documents the DP actually evaluated.
-	DocsScanned int
+	DocsScanned int `json:"docs_scanned"`
 	// DocsPruned is the number of documents skipped via the candidate set
 	// without being evaluated. Filled by the caller in candidate-only
 	// mode, like DocsTotal.
-	DocsPruned int
+	DocsPruned int `json:"docs_pruned"`
 	// CandidatesFetched is the number of candidate documents fetched
 	// from the store in candidate-only mode (zero in the scan modes).
 	// It can run below the candidate set's size when a candidate was
 	// deleted between planning and fetching.
-	CandidatesFetched int
+	CandidatesFetched int `json:"candidates_fetched"`
 	// IndexUsed reports whether a candidate set restricted the run at all.
-	IndexUsed bool
+	IndexUsed bool `json:"index_used"`
 	// PlanGrams is the number of distinct grams the planner consulted.
-	PlanGrams int
+	PlanGrams int `json:"plan_grams"`
 	// Plan is the rendered Plan the run executed under.
-	Plan string
+	Plan string `json:"plan"`
 }
 
 // EngineOptions configures a new Engine.

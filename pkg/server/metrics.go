@@ -1,0 +1,176 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds. The spread covers
+// everything from a cache-hit point lookup (<1ms) to a corpus scan under
+// load; requests slower than the last bound land in the +Inf bucket.
+var latencyBounds = []time.Duration{
+	1 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	5 * time.Second,
+}
+
+// latencyHist is a fixed-bucket latency histogram. It implements
+// expvar.Var so it can live inside the server's expvar map, and it
+// snapshots to a JSON-friendly shape for /v1/stats. Buckets are
+// cumulative ("le" = less-than-or-equal), Prometheus-style, so p50/p99
+// estimates can be read off the counts.
+type latencyHist struct {
+	counts []atomic.Int64 // len(latencyBounds)+1; last is +Inf
+	total  atomic.Int64
+	sumUS  atomic.Int64 // microseconds, so one int64 carries the sum exactly
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{counts: make([]atomic.Int64, len(latencyBounds)+1)}
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumUS.Add(d.Microseconds())
+}
+
+// histSnapshot is the histogram's JSON shape: cumulative bucket counts
+// keyed by their upper bound in milliseconds.
+type histSnapshot struct {
+	Count   int64            `json:"count"`
+	SumMS   float64          `json:"sum_ms"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+func (h *latencyHist) snapshot() histSnapshot {
+	s := histSnapshot{
+		Count:   h.total.Load(),
+		SumMS:   float64(h.sumUS.Load()) / 1000,
+		Buckets: make(map[string]int64, len(h.counts)),
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Buckets[bucketLabel(i)] = cum
+	}
+	return s
+}
+
+func bucketLabel(i int) string {
+	if i >= len(latencyBounds) {
+		return "le_inf"
+	}
+	ms := latencyBounds[i].Seconds() * 1000
+	return fmt.Sprintf("le_%gms", ms)
+}
+
+// String renders the histogram as JSON, satisfying expvar.Var.
+func (h *latencyHist) String() string {
+	s := h.snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"count": %d, "sum_ms": %g`, s.Count, s.SumMS)
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(&sb, `, %q: %d`, bucketLabel(i), cum)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// endpointMetrics instruments one endpoint: request count, error count
+// (status >= 400, overload rejections included), and a latency histogram.
+type endpointMetrics struct {
+	count   expvar.Int
+	errors  expvar.Int
+	latency *latencyHist
+}
+
+// endpointSnapshot is one endpoint's branch of the /v1/stats response.
+type endpointSnapshot struct {
+	Count   int64        `json:"count"`
+	Errors  int64        `json:"errors"`
+	Latency histSnapshot `json:"latency"`
+}
+
+// metrics aggregates the server's counters. Everything is registered in
+// one expvar.Map served at /debug/vars — but the map is built with Init
+// and never published to the process-global expvar registry, so many
+// servers (tests, an embedded harness) can coexist without the
+// duplicate-name panic expvar.Publish reserves for globals.
+type metrics struct {
+	vars      expvar.Map
+	inFlight  expvar.Int
+	rejected  expvar.Int
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics(endpointNames []string, cache *queryCache, workers, maxInFlight int) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
+	m.vars.Init()
+	m.vars.Set("in_flight", &m.inFlight)
+	m.vars.Set("rejected", &m.rejected)
+	m.vars.Set("max_in_flight", constInt(maxInFlight))
+	m.vars.Set("engine_workers", constInt(workers))
+	m.vars.Set("cache_hits", expvar.Func(func() any { return cache.hits.Load() }))
+	m.vars.Set("cache_misses", expvar.Func(func() any { return cache.misses.Load() }))
+	m.vars.Set("cache_size", expvar.Func(func() any { return cache.len() }))
+	req := new(expvar.Map).Init()
+	for _, name := range endpointNames {
+		em := &endpointMetrics{latency: newLatencyHist()}
+		m.endpoints[name] = em
+		per := new(expvar.Map).Init()
+		per.Set("count", &em.count)
+		per.Set("errors", &em.errors)
+		per.Set("latency_ms", em.latency)
+		req.Set(name, per)
+	}
+	m.vars.Set("requests", req)
+	return m
+}
+
+// constInt adapts a fixed configuration value to expvar.Var.
+func constInt(v int) expvar.Func {
+	return func() any { return v }
+}
+
+// record books one finished request against its endpoint.
+func (m *metrics) record(endpoint string, status int, elapsed time.Duration) {
+	em, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	em.count.Add(1)
+	if status >= 400 {
+		em.errors.Add(1)
+	}
+	em.latency.observe(elapsed)
+}
+
+// requestsSnapshot renders every endpoint's counters for /v1/stats.
+func (m *metrics) requestsSnapshot() map[string]endpointSnapshot {
+	out := make(map[string]endpointSnapshot, len(m.endpoints))
+	for name, em := range m.endpoints {
+		out[name] = endpointSnapshot{
+			Count:   em.count.Value(),
+			Errors:  em.errors.Value(),
+			Latency: em.latency.snapshot(),
+		}
+	}
+	return out
+}

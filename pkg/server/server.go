@@ -1,0 +1,619 @@
+// Package server turns a staccatodb.DB into a long-running HTTP/JSON
+// service — the network face of the system. One Server owns one DB and
+// exposes ingest (batched), search and explain (per-result
+// probabilities plus full execution stats — probability semantics stay
+// first-class on the wire, never flattened to matched/not-matched),
+// point get/delete, stats, and health.
+//
+// Between the socket and the engine sit the three mechanisms a serving
+// path needs that a CLI does not:
+//
+//   - A compiled-query LRU cache. Queries arrive as strings; compiling
+//     one is pure CPU that repeat traffic should not re-pay. The cache
+//     is keyed by the canonical query spec and its hit rate is part of
+//     the exported metrics.
+//   - Admission control. In-flight requests are bounded by a semaphore;
+//     a request that cannot be admitted is rejected immediately with
+//     429 and a Retry-After hint, and every rejection is counted —
+//     under overload the server sheds load loudly instead of queueing
+//     without bound, and no rejection is ever silent.
+//   - Per-request deadlines. Every DB call runs under a context
+//     deadline (the server default, tightened per request via
+//     timeout_ms); a request that exceeds it returns 504 with the
+//     deadline error rather than occupying a worker forever.
+//
+// Shutdown is graceful by construction: Shutdown marks the server
+// draining (new requests get 503, health reports draining so load
+// balancers stop routing), waits for every in-flight request to finish,
+// and only then closes the DB — an admitted request never observes a
+// closed database.
+//
+// Metrics are expvar-based: request counts, error counts, and
+// fixed-bucket latency histograms per endpoint, cache hits/misses,
+// rejected count, the in-flight gauge, and the engine worker ceiling,
+// served both at /debug/vars (expvar JSON) and inside /v1/stats next to
+// the database's own stats.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+	"github.com/paper-repo/staccato-go/pkg/store"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxInFlight    = 256
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultQueryCacheSize = 256
+	DefaultRetryAfter     = 1 * time.Second
+)
+
+// maxBodyBytes bounds request bodies: generous for document batches,
+// tight for queries — a malformed client must not buffer the server into
+// the ground.
+const (
+	maxIngestBodyBytes = 64 << 20 // 64 MiB of documents per batch
+	maxQueryBodyBytes  = 1 << 20  // 1 MiB of query spec
+)
+
+// Options configures a Server. Zero values select the defaults above.
+type Options struct {
+	// MaxInFlight bounds how many requests may be in the DB-touching
+	// handlers at once; requests beyond it are rejected with 429.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline applied to every DB
+	// call. A request's timeout_ms can tighten it but never extend it.
+	RequestTimeout time.Duration
+	// QueryCacheSize is the compiled-query LRU capacity.
+	QueryCacheSize int
+	// RetryAfter is the hint returned in the Retry-After header of 429
+	// responses.
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = DefaultMaxInFlight
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.QueryCacheSize <= 0 {
+		o.QueryCacheSize = DefaultQueryCacheSize
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = DefaultRetryAfter
+	}
+	return o
+}
+
+// Server serves one staccatodb.DB over HTTP. Create with New, mount
+// Handler on an http.Server, and stop with Shutdown. The Server owns
+// the DB from New onward: Shutdown closes it.
+type Server struct {
+	db    *staccatodb.DB
+	opts  Options
+	cache *queryCache
+	met   *metrics
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+	inflight sync.WaitGroup
+
+	// testHookSearch, when non-nil, runs inside the search handler after
+	// the request context is derived and before the engine is invoked —
+	// the deterministic seam the deadline, overload, and drain tests
+	// block on. Set it before the server starts serving.
+	testHookSearch func(ctx context.Context)
+}
+
+// New returns a Server over db. db must be non-nil and open; the Server
+// takes ownership and closes it during Shutdown.
+func New(db *staccatodb.DB, opts Options) *Server {
+	if db == nil {
+		panic("server: New requires a non-nil DB")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		db:    db,
+		opts:  opts,
+		cache: newQueryCache(opts.QueryCacheSize),
+		sem:   make(chan struct{}, opts.MaxInFlight),
+	}
+	endpoints := []string{"ingest", "search", "explain", "get_doc", "delete_doc", "stats", "health"}
+	s.met = newMetrics(endpoints, s.cache, db.Workers(), opts.MaxInFlight)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.endpoint("ingest", true, s.handleIngest))
+	s.mux.HandleFunc("POST /v1/search", s.endpoint("search", true, s.handleSearch))
+	s.mux.HandleFunc("POST /v1/explain", s.endpoint("explain", true, s.handleExplain))
+	s.mux.HandleFunc("GET /v1/docs/{id}", s.endpoint("get_doc", true, s.handleGetDoc))
+	s.mux.HandleFunc("DELETE /v1/docs/{id}", s.endpoint("delete_doc", true, s.handleDeleteDoc))
+	// Stats and health skip admission: observability must keep answering
+	// precisely when the server is saturated enough to reject work.
+	s.mux.HandleFunc("GET /v1/stats", s.endpoint("stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.endpoint("health", false, s.handleHealth))
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Options returns the server's resolved configuration — the caller's
+// Options with every zero value replaced by its default.
+func (s *Server) Options() Options { return s.opts }
+
+// Shutdown gracefully stops the server: it marks the server draining
+// (new requests are refused with 503, health reports draining), waits
+// for every in-flight request to complete, and then closes the DB. If
+// ctx expires first, Shutdown returns ctx's error WITHOUT closing the
+// DB — in-flight requests are still running against it; call Shutdown
+// again (or close the DB directly) to force the issue.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.draining = true
+	s.mu.Unlock()
+	if alreadyClosed {
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w (in-flight requests still draining; db left open)", ctx.Err())
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.db.Close()
+}
+
+// beginRequest registers a request with the drain accounting. It returns
+// false when the server is draining, in which case the request must be
+// refused and end may not be called.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpoint wraps a handler with the request lifecycle every endpoint
+// shares, in order: drain gate (503 once Shutdown begins), admission
+// control when admit is set (429 + Retry-After when MaxInFlight requests
+// are already in the handlers), then metrics (count, error count,
+// latency histogram). The deadline is applied inside the handlers, where
+// the request's own timeout_ms is known.
+func (s *Server) endpoint(name string, admit bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if !s.beginRequest() {
+			writeError(sw, http.StatusServiceUnavailable, "server is shutting down")
+			s.met.record(name, sw.status, time.Since(start))
+			return
+		}
+		defer s.inflight.Done()
+		if admit {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+				s.met.inFlight.Add(1)
+				defer s.met.inFlight.Add(-1)
+			default:
+				s.met.rejected.Add(1)
+				secs := int(math.Ceil(s.opts.RetryAfter.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				sw.Header().Set("Retry-After", fmt.Sprint(secs))
+				writeError(sw, http.StatusTooManyRequests,
+					"server at capacity (%d requests in flight); retry after %ds", s.opts.MaxInFlight, secs)
+				s.met.record(name, sw.status, time.Since(start))
+				return
+			}
+		}
+		h(sw, r)
+		s.met.record(name, sw.status, time.Since(start))
+	}
+}
+
+// requestCtx derives the request's working context: the server's default
+// deadline, tightened to timeoutMS when the request asked for less.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opts.RequestTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // the status line is already out; a failed body write has no better channel
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeDBError maps a DB call's failure onto the right status: exceeded
+// deadlines are the gateway-timeout contract (504), a closed DB means
+// the server is going away (503), anything else is a plain 500.
+func writeDBError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is a formality it will not read.
+		writeError(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+	case errors.Is(err, staccatodb.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "database is closed")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// decodeBody strictly decodes r's JSON body into v: unknown fields,
+// trailing garbage, and bodies over limit are all 400-level errors
+// reported by the returned error.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid JSON body: trailing data after the request object")
+	}
+	return nil
+}
+
+// queryRequest is the wire form of a query: a term list plus the same
+// shaping knobs the CLI exposes. It compiles to exactly the boolean
+// Query `staccato search` would build for the same inputs.
+type queryRequest struct {
+	// Terms are the query terms; at least one is required.
+	Terms []string `json:"terms"`
+	// Mode is the leaf type: "substring" (default) or "keyword".
+	Mode string `json:"mode,omitempty"`
+	// Combine joins multiple terms: "and" (default) or "or".
+	Combine string `json:"combine,omitempty"`
+	// Not, when set, additionally requires this term to be absent.
+	Not string `json:"not,omitempty"`
+	// MinProb drops results below this probability.
+	MinProb float64 `json:"min_prob,omitempty"`
+	// Top keeps only the N best-ranked results; zero keeps all.
+	Top int `json:"top,omitempty"`
+	// TimeoutMS tightens the server's request deadline for this call;
+	// it can never extend past the server's configured maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// cacheKey canonicalizes the compiled part of the request — the part
+// that determines the Query, not the runtime options — so equal query
+// structures share one cache entry.
+func (q *queryRequest) cacheKey() string {
+	parts := make([]string, 0, len(q.Terms)+3)
+	parts = append(parts, q.Mode, q.Combine, q.Not)
+	parts = append(parts, q.Terms...)
+	return strings.Join(parts, "\x00")
+}
+
+// compile builds the boolean Query the request describes. The logic
+// mirrors the CLI's term handling so the two front ends cannot drift.
+func (q *queryRequest) compile() (*query.Query, error) {
+	leafFor := func(term string) (*query.Query, error) {
+		switch q.Mode {
+		case "", "substring":
+			return query.Substring(term)
+		case "keyword":
+			return query.Keyword(term)
+		default:
+			return nil, fmt.Errorf("unknown mode %q (want substring or keyword)", q.Mode)
+		}
+	}
+	if len(q.Terms) == 0 {
+		return nil, errors.New("at least one query term is required")
+	}
+	leaves := make([]*query.Query, len(q.Terms))
+	for i, term := range q.Terms {
+		leaf, err := leafFor(term)
+		if err != nil {
+			return nil, err
+		}
+		leaves[i] = leaf
+	}
+	var out *query.Query
+	switch q.Combine {
+	case "", "and":
+		out = query.And(leaves[0], leaves[1:]...)
+	case "or":
+		out = query.Or(leaves[0], leaves[1:]...)
+	default:
+		return nil, fmt.Errorf("unknown combine %q (want and or or)", q.Combine)
+	}
+	if q.Not != "" {
+		neg, err := leafFor(q.Not)
+		if err != nil {
+			return nil, err
+		}
+		out = query.And(out, query.Not(neg))
+	}
+	return out, nil
+}
+
+// compiledQuery resolves the request through the cache.
+func (s *Server) compiledQuery(req *queryRequest) (*query.Query, bool, error) {
+	return s.cache.get(req.cacheKey(), req.compile)
+}
+
+// ingestRequest is the wire form of a batched write.
+type ingestRequest struct {
+	Docs      []*staccato.Doc `json:"docs"`
+	TimeoutMS int             `json:"timeout_ms,omitempty"`
+}
+
+type ingestResponse struct {
+	// Ingested is how many documents this batch committed.
+	Ingested int `json:"ingested"`
+	// Docs is the store's live document count after the commit.
+	Docs int `json:"docs"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := decodeBody(w, r, &req, maxIngestBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Docs) == 0 {
+		writeError(w, http.StatusBadRequest, "ingest requires at least one document in docs")
+		return
+	}
+	for i, d := range req.Docs {
+		if d == nil || d.ID == "" {
+			writeError(w, http.StatusBadRequest, "docs[%d]: document must have a non-empty id", i)
+			return
+		}
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.db.Ingest(ctx, req.Docs); err != nil {
+		writeDBError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Ingested: len(req.Docs), Docs: s.db.Stats().Docs})
+}
+
+type searchResponse struct {
+	// Query is the compiled query's canonical rendering.
+	Query string `json:"query"`
+	// Results are the ranked matches, each with its match probability.
+	Results []query.Result `json:"results"`
+	// Stats is the run's execution report: mode, plan, pruned/evaluated
+	// counts, candidates fetched.
+	Stats query.SearchStats `json:"stats"`
+	// CacheHit reports whether the compiled query came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// ElapsedMS is the server-side execution time of the DB call.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, hit, err := s.compiledQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	if s.testHookSearch != nil {
+		s.testHookSearch(ctx)
+	}
+	start := time.Now()
+	results, stats, err := s.db.Search(ctx, q, query.SearchOptions{MinProb: req.MinProb, TopN: req.Top})
+	if err != nil {
+		writeDBError(w, err)
+		return
+	}
+	if results == nil {
+		results = []query.Result{} // "results": [] beats "results": null on the wire
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Query:     q.String(),
+		Results:   results,
+		Stats:     stats,
+		CacheHit:  hit,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+type explainResponse struct {
+	Query string `json:"query"`
+	// Explain is the DB's plan rendering: the pruning plan, index shape,
+	// candidate count, and the mode Search would take.
+	Explain string `json:"explain"`
+	// Stats comes from actually executing the query (explain-analyze
+	// semantics), so Mode and CandidatesFetched report what really
+	// happened, not a prediction.
+	Stats query.SearchStats `json:"stats"`
+	// Matches is how many documents matched with probability > 0.
+	Matches   int     `json:"matches"`
+	CacheHit  bool    `json:"cache_hit"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, hit, err := s.compiledQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	results, stats, err := s.db.Search(ctx, q, query.SearchOptions{MinProb: req.MinProb, TopN: req.Top})
+	if err != nil {
+		writeDBError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Query:     q.String(),
+		Explain:   s.db.Explain(q),
+		Stats:     stats,
+		Matches:   len(results),
+		CacheHit:  hit,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	doc, err := s.db.Get(ctx, id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, doc)
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "no document with id %q", id)
+	default:
+		writeDBError(w, err)
+	}
+}
+
+type deleteResponse struct {
+	Deleted string `json:"deleted"`
+}
+
+func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "document id is required")
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	if err := s.db.Delete(ctx, id); err != nil {
+		writeDBError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: id})
+}
+
+// serverStats is the service-level branch of /v1/stats, alongside the
+// database's own canonical stats shape.
+type serverStats struct {
+	InFlight      int64                       `json:"in_flight"`
+	MaxInFlight   int                         `json:"max_in_flight"`
+	Rejected      int64                       `json:"rejected"`
+	EngineWorkers int                         `json:"engine_workers"`
+	Draining      bool                        `json:"draining"`
+	QueryCache    cacheStats                  `json:"query_cache"`
+	Requests      map[string]endpointSnapshot `json:"requests"`
+}
+
+type statsResponse struct {
+	// DB is staccatodb.Stats in its canonical JSON shape — the same
+	// bytes the CLI's verbose stats line prints.
+	DB     staccatodb.Stats `json:"db"`
+	Server serverStats      `json:"server"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		DB: s.db.Stats(),
+		Server: serverStats{
+			InFlight:      s.met.inFlight.Value(),
+			MaxInFlight:   s.opts.MaxInFlight,
+			Rejected:      s.met.rejected.Value(),
+			EngineWorkers: s.db.Workers(),
+			Draining:      draining,
+			QueryCache:    s.cache.stats(),
+			Requests:      s.met.requestsSnapshot(),
+		},
+	})
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+	Docs   int    `json:"docs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Docs: s.db.Stats().Docs})
+}
+
+// handleVars serves the server's expvar map as /debug/vars-style JSON.
+// The map is per-server rather than process-global, so the standard
+// expvar handler (which only sees published globals) cannot serve it.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n%q: %s\n}\n", "staccatod", s.met.vars.String())
+}

@@ -1,0 +1,597 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// newTestServer builds a Server over a fresh in-memory DB and mounts it
+// on an httptest server. Callers own neither: cleanup closes both, and
+// tests that shut the Server down themselves rely on Shutdown being
+// idempotent.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	db, err := staccatodb.OpenMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// testDocs generates a small deterministic corpus.
+func testDocs(t *testing.T, n int) []*staccato.Doc {
+	t.Helper()
+	cases, err := testgen.Docs(n, testgen.Config{Length: 40, Seed: 7}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*staccato.Doc, len(cases))
+	for i, c := range cases {
+		docs[i] = c.Doc
+	}
+	return docs
+}
+
+// postJSON posts v to url and returns the response status and decoded
+// body bytes.
+func postJSON(t *testing.T, client *http.Client, url string, v any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getJSON(t *testing.T, client *http.Client, url string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestIngestSearchExplainRoundTrip drives the full request lifecycle a
+// client sees: batch-ingest a corpus over the wire, search for a term a
+// document is known to contain, confirm per-result probabilities and
+// execution stats come back, explain the same query, then point-get and
+// delete a document.
+func TestIngestSearchExplainRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	docs := testDocs(t, 20)
+
+	status, body := postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: docs})
+	if status != http.StatusOK {
+		t.Fatalf("ingest: status %d, body %s", status, body)
+	}
+	var ing ingestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Ingested != len(docs) || ing.Docs != len(docs) {
+		t.Fatalf("ingest response = %+v, want %d ingested over %d docs", ing, len(docs), len(docs))
+	}
+
+	// A substring of a stored document's MAP reading must match that
+	// document with positive probability.
+	term := docs[0].MAP()[:4]
+	status, body = postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{term}, Top: 10})
+	if status != http.StatusOK {
+		t.Fatalf("search: status %d, body %s", status, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatalf("search for %q of doc %s returned no results; body %s", term, docs[0].ID, body)
+	}
+	found := false
+	for _, r := range sr.Results {
+		if r.DocID == docs[0].ID && r.Prob > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("search for %q did not surface %s with positive probability: %s", term, docs[0].ID, body)
+	}
+	if sr.Stats.Mode == "" {
+		t.Errorf("search stats missing execution mode: %s", body)
+	}
+	if sr.Stats.DocsTotal != len(docs) {
+		t.Errorf("search stats docs_total = %d, want %d", sr.Stats.DocsTotal, len(docs))
+	}
+
+	status, body = postJSON(t, client, ts.URL+"/v1/explain", queryRequest{Terms: []string{term}})
+	if status != http.StatusOK {
+		t.Fatalf("explain: status %d, body %s", status, body)
+	}
+	var ex explainResponse
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Stats.Mode == "" || !strings.Contains(ex.Explain, "plan:") {
+		t.Errorf("explain response incomplete: %s", body)
+	}
+	if ex.Matches == 0 {
+		t.Errorf("explain reported zero matches for a matching query: %s", body)
+	}
+
+	// Point get, delete, then confirm the document is gone.
+	status, body = getJSON(t, client, ts.URL+"/v1/docs/"+docs[0].ID)
+	if status != http.StatusOK {
+		t.Fatalf("get: status %d, body %s", status, body)
+	}
+	var got staccato.Doc
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != docs[0].ID || len(got.Chunks) != len(docs[0].Chunks) {
+		t.Errorf("get returned a different document: %s", body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/docs/"+docs[0].ID, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if status, _ = getJSON(t, client, ts.URL+"/v1/docs/"+docs[0].ID); status != http.StatusNotFound {
+		t.Errorf("get after delete: status %d, want 404", status)
+	}
+}
+
+// TestQueryCacheObservable confirms compile reuse is visible on the
+// wire: the first search for a spec is a miss, the second a hit, and
+// /v1/stats reports both.
+func TestQueryCacheObservable(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: testDocs(t, 5)})
+
+	spec := queryRequest{Terms: []string{"abcd"}, Mode: "substring"}
+	var sr searchResponse
+	_, body := postJSON(t, client, ts.URL+"/v1/search", spec)
+	json.Unmarshal(body, &sr)
+	if sr.CacheHit {
+		t.Error("first search reported a cache hit")
+	}
+	_, body = postJSON(t, client, ts.URL+"/v1/search", spec)
+	json.Unmarshal(body, &sr)
+	if !sr.CacheHit {
+		t.Error("second identical search reported a cache miss")
+	}
+
+	_, body = getJSON(t, client, ts.URL+"/v1/stats")
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.QueryCache.Hits != 1 || st.Server.QueryCache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st.Server.QueryCache)
+	}
+	if st.DB.Docs != 5 {
+		t.Errorf("stats db.docs = %d, want 5", st.DB.Docs)
+	}
+}
+
+// TestMalformedRequests pins the 400 surface: syntactically broken JSON,
+// unknown fields, empty term lists, and invalid enum values are all
+// client errors with a JSON error body — never 500s.
+func TestMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+
+	cases := []struct {
+		name string
+		url  string
+		body string
+	}{
+		{"truncated json", "/v1/search", `{"terms": ["ab"`},
+		{"unknown field", "/v1/search", `{"terms": ["ab"], "nope": 1}`},
+		{"trailing garbage", "/v1/search", `{"terms": ["ab"]} junk`},
+		{"no terms", "/v1/search", `{}`},
+		{"bad mode", "/v1/search", `{"terms": ["ab"], "mode": "regex"}`},
+		{"bad combine", "/v1/search", `{"terms": ["ab"], "combine": "xor"}`},
+		{"ingest no docs", "/v1/ingest", `{"docs": []}`},
+		{"ingest empty id", "/v1/ingest", `{"docs": [{"id": ""}]}`},
+		{"explain bad body", "/v1/explain", `[1,2,3]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := client.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", resp.StatusCode, data)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+				t.Errorf("error body is not the JSON error shape: %s", data)
+			}
+		})
+	}
+}
+
+// TestDeadlineExceededReturns504 pins the deadline contract: a request
+// whose context expires mid-execution returns 504, not 500 and not a
+// hang. The test hook parks the handler until the request deadline has
+// actually fired, making the timeout deterministic.
+func TestDeadlineExceededReturns504(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	s.testHookSearch = func(ctx context.Context) { <-ctx.Done() }
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: testDocs(t, 3)})
+
+	status, body := postJSON(t, client, ts.URL+"/v1/search",
+		queryRequest{Terms: []string{"abcd"}, TimeoutMS: 10})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", status, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, "deadline") {
+		t.Errorf("504 body should name the deadline: %s", body)
+	}
+}
+
+// TestOverloadReturns429 pins admission control: with MaxInFlight=1 and
+// one request parked in the handler, the next request is rejected
+// immediately with 429 + Retry-After, and the rejection is counted in
+// /v1/stats — no silent drops.
+func TestOverloadReturns429(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Options{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	s.testHookSearch = func(ctx context.Context) {
+		started <- struct{}{}
+		<-release
+	}
+	client := ts.Client()
+
+	firstDone := make(chan int)
+	go func() {
+		status, _ := postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{"abcd"}})
+		firstDone <- status
+	}()
+	<-started // the semaphore's one slot is now held
+
+	body, _ := json.Marshal(queryRequest{Terms: []string{"wxyz"}})
+	resp, err := client.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+
+	close(release)
+	if status := <-firstDone; status != http.StatusOK {
+		t.Fatalf("parked request finished with %d, want 200", status)
+	}
+
+	_, sb := getJSON(t, client, ts.URL+"/v1/stats")
+	var st statsResponse
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Rejected != 1 {
+		t.Errorf("stats rejected = %d, want 1", st.Server.Rejected)
+	}
+	if st.Server.Requests["search"].Errors < 1 {
+		t.Errorf("the 429 was not counted as a search-endpoint error: %+v", st.Server.Requests["search"])
+	}
+}
+
+// TestGracefulShutdownDrains pins the drain invariant: Shutdown refuses
+// new requests immediately, but does not return — and does not close
+// the DB — until the in-flight request has completed successfully.
+func TestGracefulShutdownDrains(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	db, err := staccatodb.OpenMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, Options{})
+	s.testHookSearch = func(ctx context.Context) {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: testDocs(t, 3)})
+
+	searchDone := make(chan int)
+	go func() {
+		status, _ := postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{"abcd"}})
+		searchDone <- status
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// New requests must be refused once draining begins; poll because
+	// Shutdown's drain flag races this goroutine by a few microseconds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, _ := getJSON(t, client, ts.URL+"/healthz")
+		if status == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started refusing requests after Shutdown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The in-flight search is still parked, so Shutdown must not have
+	// completed — and the DB must still be open underneath it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if status := <-searchDone; status != http.StatusOK {
+		t.Fatalf("in-flight search finished with %d, want 200 (drain must not break it)", status)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Only now is the DB closed.
+	if _, err := db.Get(context.Background(), "doc-0001"); !errors.Is(err, staccatodb.ErrClosed) {
+		t.Errorf("db.Get after Shutdown = %v, want ErrClosed", err)
+	}
+}
+
+// TestShutdownTimeoutLeavesDBOpen: if the drain deadline fires first,
+// Shutdown reports it and leaves the DB open for the still-running
+// request rather than yanking it away.
+func TestShutdownTimeoutLeavesDBOpen(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	db, err := staccatodb.OpenMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, Options{})
+	s.testHookSearch = func(ctx context.Context) {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: testDocs(t, 3)})
+
+	searchDone := make(chan int)
+	go func() {
+		status, _ := postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{"abcd"}})
+		searchDone <- status
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with expired drain deadline = %v, want DeadlineExceeded", err)
+	}
+	if _, err := db.Get(context.Background(), "doc-0001"); errors.Is(err, staccatodb.ErrClosed) {
+		t.Fatal("DB was closed under an in-flight request")
+	}
+	close(release)
+	if status := <-searchDone; status != http.StatusOK {
+		t.Fatalf("in-flight search finished with %d, want 200", status)
+	}
+	// A second Shutdown with room to drain completes and closes the DB.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.Shutdown(ctx2); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestConcurrentMixedClients hammers the server with concurrent mixed
+// ingest/search/get/delete clients — the -race pass over the serving
+// path — and proves the accounting invariant: every response is an
+// expected status, and every admission rejection the clients saw is
+// counted by the server. Nothing is dropped unreported.
+func TestConcurrentMixedClients(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxInFlight: 4})
+	client := ts.Client()
+	docs := testDocs(t, 10)
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: docs})
+	terms := []string{docs[0].MAP()[:3], docs[1].MAP()[:3], "zq"}
+
+	const clients = 16
+	const opsPerClient = 25
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statusCounts := map[int]int{}
+	unexpected := map[int]int{}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				var status int
+				switch i % 5 {
+				case 0: // write
+					doc := *docs[c%len(docs)]
+					doc.ID = fmt.Sprintf("mixed-%d-%d", c, i)
+					status, _ = postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: []*staccato.Doc{&doc}})
+				case 1: // point read, sometimes of a deleted/unknown doc
+					status, _ = getJSON(t, client, ts.URL+"/v1/docs/"+fmt.Sprintf("mixed-%d-%d", c, i-1))
+				case 2: // delete (often a no-op)
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/docs/"+fmt.Sprintf("mixed-%d-0", c), nil)
+					resp, err := client.Do(req)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					status = resp.StatusCode
+				default: // search
+					status, _ = postJSON(t, client, ts.URL+"/v1/search",
+						queryRequest{Terms: []string{terms[i%len(terms)]}, Top: 5})
+				}
+				mu.Lock()
+				statusCounts[status]++
+				switch status {
+				case http.StatusOK, http.StatusNotFound, http.StatusTooManyRequests:
+				default:
+					unexpected[status]++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(unexpected) > 0 {
+		t.Fatalf("unexpected statuses under load: %v (all: %v)", unexpected, statusCounts)
+	}
+	_, body := getJSON(t, client, ts.URL+"/v1/stats")
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.Server.Rejected, int64(statusCounts[http.StatusTooManyRequests]); got != want {
+		t.Errorf("server counted %d rejections, clients observed %d — a rejection went unreported", got, want)
+	}
+	total := int64(0)
+	for _, name := range []string{"ingest", "search", "get_doc", "delete_doc"} {
+		total += st.Server.Requests[name].Count
+	}
+	// +1 for the setup ingest; the stats fetch itself books under "stats".
+	if want := int64(clients*opsPerClient + 1); total != want {
+		t.Errorf("endpoint counters sum to %d requests, want %d", total, want)
+	}
+}
+
+// TestExpvarEndpoint sanity-checks /debug/vars: valid JSON carrying the
+// service counters.
+func TestExpvarEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{"ab"}})
+	status, body := getJSON(t, client, ts.URL+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	var inner map[string]json.RawMessage
+	if err := json.Unmarshal(vars["staccatod"], &inner); err != nil {
+		t.Fatalf("staccatod var map is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"requests", "cache_hits", "cache_misses", "rejected", "in_flight", "engine_workers", "max_in_flight"} {
+		if _, ok := inner[key]; !ok {
+			t.Errorf("/debug/vars missing %q: %s", key, body)
+		}
+	}
+}
+
+// TestHealth covers the trivial endpoint and its draining flip side is
+// covered by TestGracefulShutdownDrains.
+func TestHealth(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body := getJSON(t, ts.Client(), ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil || h.Status != "ok" {
+		t.Errorf("health body: %s", body)
+	}
+}
+
+// TestStatsSharesDBShape pins the satellite contract: the "db" object in
+// /v1/stats is staccatodb.Stats's canonical JSON — unmarshalling it
+// yields exactly DB.Stats(), so the CLI's verbose stats line and the
+// endpoint can never disagree about doc counts or index persistence.
+func TestStatsSharesDBShape(t *testing.T) {
+	db, err := staccatodb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: testDocs(t, 4)})
+
+	_, body := getJSON(t, client, ts.URL+"/v1/stats")
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DB != db.Stats() {
+		t.Errorf("/v1/stats db = %+v, want DB.Stats() = %+v", st.DB, db.Stats())
+	}
+	if !st.DB.IndexPersisted || st.DB.Docs != 4 {
+		t.Errorf("disk-backed stats should report a persisted index over 4 docs: %+v", st.DB)
+	}
+}

@@ -36,10 +36,12 @@ const AllPaths = math.MaxInt32
 const MaxChunks = math.MaxInt32
 
 // Alt is one retained reading of a chunk with its probability, normalized
-// over the chunk's retained paths.
+// over the chunk's retained paths. The JSON tags on Doc and its parts
+// define the document wire shape of the staccatod ingest endpoint; the
+// durable on-disk encoding is pkg/store's binary codec, not JSON.
 type Alt struct {
-	Text string
-	Prob float64
+	Text string  `json:"text"`
+	Prob float64 `json:"prob"`
 }
 
 // PathSet is the retained top-k path set of one chunk. Alts are sorted by
@@ -48,25 +50,25 @@ type Alt struct {
 // mass the kept paths cover, a diagnostic for how lossy the approximation
 // was at this dial setting.
 type PathSet struct {
-	Alts     []Alt
-	Retained float64
+	Alts     []Alt   `json:"alts"`
+	Retained float64 `json:"retained"`
 }
 
 // Params records the dial setting a Doc was built with. Chunks is the
 // effective chunk count, which may be lower than requested when the
 // transducer has fewer cut states.
 type Params struct {
-	Chunks int
-	K      int
+	Chunks int `json:"chunks"`
+	K      int `json:"k"`
 }
 
 // Doc is a Staccato-approximated document: a sequence of independent
 // chunks, each a distribution over a small set of strings. It is the unit
 // of storage (pkg/store) and of query evaluation (pkg/query).
 type Doc struct {
-	ID     string
-	Params Params
-	Chunks []PathSet
+	ID     string    `json:"id"`
+	Params Params    `json:"params"`
+	Chunks []PathSet `json:"chunks"`
 }
 
 // MAP returns the most probable reading under the Doc's product

@@ -425,6 +425,12 @@ func (db *DB) Search(ctx context.Context, q *query.Query, opts query.SearchOptio
 	return res, stats, nil
 }
 
+// Workers returns the query engine's worker pool size — the evaluation
+// parallelism ceiling, which services in front of the DB (staccatod)
+// report alongside their own in-flight gauges to make engine saturation
+// observable.
+func (db *DB) Workers() int { return db.eng.Workers() }
+
 // docCount returns the store's live-document count without a scan.
 func (db *DB) docCount() int {
 	if db.disk != nil {
@@ -493,25 +499,28 @@ func (db *DB) Explain(q *query.Query) string {
 }
 
 // Stats describes the database's current shape. Segment and disk fields
-// are zero for OpenMem databases.
+// are zero for OpenMem databases. The JSON tags define the one canonical
+// stats shape, shared verbatim by the CLI's verbose output and the
+// staccatod /v1/stats endpoint — live doc count and index persistence
+// always read the same either way.
 type Stats struct {
 	// Docs is the number of live documents.
-	Docs int
+	Docs int `json:"docs"`
 	// Segments and DiskBytes mirror diskstore.Stats.
-	Segments  int
-	DiskBytes int64
+	Segments  int   `json:"segments"`
+	DiskBytes int64 `json:"disk_bytes"`
 	// IndexEnabled reports whether an inverted index is attached.
-	IndexEnabled bool
+	IndexEnabled bool `json:"index_enabled"`
 	// IndexPersisted reports whether the index is being persisted to the
 	// store directory's index log. False for OpenMem databases, and for
 	// disk databases whose log could not be written (read-only directory,
 	// full disk) — the in-memory index still serves queries, but the next
 	// Open pays a rebuild.
-	IndexPersisted bool
+	IndexPersisted bool `json:"index_persisted"`
 	// IndexDocs, IndexGrams, and IndexOverflowDocs mirror index.Stats.
-	IndexDocs         int
-	IndexGrams        int
-	IndexOverflowDocs int
+	IndexDocs         int `json:"index_docs"`
+	IndexGrams        int `json:"index_grams"`
+	IndexOverflowDocs int `json:"index_overflow_docs"`
 }
 
 // Stats reports document, segment, and index counts.

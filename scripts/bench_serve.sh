@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench_serve.sh — run the staccatoload harness against a self-contained
+# in-process staccatod and emit BENCH_serve.json: QPS, p50/p90/p99
+# latency, error rate, 429 accounting, and query-cache hit rate for a
+# mixed read/write workload.
+#
+# Usage: scripts/bench_serve.sh [serve.json]
+#   CLIENTS=2000 DURATION=10s scripts/bench_serve.sh   # override scale
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_serve.json}"
+clients="${CLIENTS:-1000}"
+duration="${DURATION:-5s}"
+docs="${DOCS:-400}"
+
+go run ./cmd/staccatoload \
+	-clients "$clients" \
+	-duration "$duration" \
+	-docs "$docs" \
+	-out "$out_file"
+
+echo "wrote $out_file:"
+cat "$out_file"
