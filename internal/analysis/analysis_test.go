@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		rel      string
+		patterns []string
+		want     bool
+	}{
+		{"pkg/query", []string{"pkg/query"}, true},
+		{"pkg/query/sub", []string{"pkg/query"}, true},
+		{"pkg/queryx", []string{"pkg/query"}, false},
+		{"pkg", []string{"pkg/query"}, false},
+		{"pkg/index", []string{"pkg/query", "pkg/index"}, true},
+		{"cmd/tool", []string{"pkg"}, false},
+		{"anything", nil, false},
+	}
+	for _, c := range cases {
+		if got := PathMatches(c.rel, c.patterns); got != c.want {
+			t.Errorf("PathMatches(%q, %v) = %v, want %v", c.rel, c.patterns, got, c.want)
+		}
+	}
+}
+
+func TestReportf(t *testing.T) {
+	var got []Diagnostic
+	p := &Pass{Report: func(d Diagnostic) { got = append(got, d) }}
+	p.Reportf(token.Pos(42), "found %d %s", 3, "things")
+	if len(got) != 1 || got[0].Pos != token.Pos(42) || got[0].Message != "found 3 things" {
+		t.Fatalf("Reportf produced %+v", got)
+	}
+}
+
+// TestCallee typechecks a snippet and resolves each call shape: plain
+// function, method via selector, dynamic function value, builtin.
+func TestCallee(t *testing.T) {
+	src := `package p
+
+type T struct{}
+
+func (T) M() {}
+
+func f() {}
+
+func g() {
+	f()
+	T{}.M()
+	fn := f
+	fn()
+	_ = len("x")
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Uses: make(map[*ast.Ident]types.Object)}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := Callee(info, call); fn != nil {
+			names = append(names, fn.Name())
+		} else {
+			names = append(names, "<nil>")
+		}
+		return true
+	})
+	want := []string{"f", "M", "<nil>", "<nil>"}
+	if len(names) != len(want) {
+		t.Fatalf("resolved %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("call %d resolved to %q, want %q", i, names[i], want[i])
+		}
+	}
+}

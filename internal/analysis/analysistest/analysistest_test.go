@@ -1,0 +1,35 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/analysis"
+	"github.com/paper-repo/staccato-go/internal/analysis/analysistest"
+)
+
+// callbad is a minimal analyzer exercising the harness itself: it
+// flags every call to a function named bad.
+var callbad = &analysis.Analyzer{
+	Name: "callbad",
+	Doc:  "flags calls to functions named bad",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := analysis.Callee(pass.TypesInfo, call); fn != nil && fn.Name() == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRun(t *testing.T) {
+	analysistest.Run(t, "testdata", callbad, "self")
+}

@@ -1,0 +1,18 @@
+// Package self exercises the analysistest harness itself: wants must
+// match diagnostics one-to-one and //lint:allow is applied first.
+package self
+
+func bad() {}
+
+func use() {
+	bad() // want "call to bad"
+}
+
+func allowed() {
+	//lint:allow callbad the harness must honor allows before matching wants
+	bad()
+}
+
+func fine() {
+	use()
+}

@@ -1,0 +1,139 @@
+// Package ctxflow enforces the context discipline PR 6 threaded through
+// the repo: deadlines and cancellation must flow from the caller to
+// every blocking callee. It makes two checks:
+//
+//  1. context.Background() and context.TODO() may not appear in library
+//     code (the packages named by Paths): a fresh root context there
+//     severs whatever deadline the caller attached. Entry points (main,
+//     tests) own their roots; libraries thread what they are given.
+//
+//  2. Anywhere, an exported function or method that takes a
+//     context.Context must not call a context-taking callee with a
+//     fresh Background()/TODO() — that silently drops the caller's
+//     deadline mid-flight. (Inside Paths packages check 1 already flags
+//     the fresh context itself, so check 2 reports only where check 1
+//     does not.)
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/paper-repo/staccato-go/internal/analysis"
+)
+
+// Paths gates check 1 to library packages. Default: the public tree.
+var Paths = []string{"pkg"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/TODO() in library packages and exported ctx-taking " +
+		"functions that hand callees a fresh context instead of the caller's",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inLibrary := analysis.PathMatches(pass.RelPath, Paths)
+	reported := make(map[token.Pos]bool)
+	if inLibrary {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, fresh := freshContext(pass.TypesInfo, call); fresh {
+					reported[call.Pos()] = true
+					pass.Reportf(call.Pos(),
+						"context.%s() in library code severs the caller's deadline; accept and thread a ctx parameter (or //lint:allow ctxflow <reason>)",
+						name)
+				}
+				return true
+			})
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !hasCtxParam(pass.TypesInfo, fd) {
+				continue
+			}
+			checkForwards(pass, fd, reported)
+		}
+	}
+	return nil
+}
+
+// checkForwards flags calls inside fd that pass a fresh context to a
+// context-taking callee even though fd received one.
+func checkForwards(pass *analysis.Pass, fd *ast.FuncDecl, reported map[token.Pos]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+		if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+			return true
+		}
+		argCall, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+		if !ok || reported[argCall.Pos()] {
+			return true
+		}
+		if name, fresh := freshContext(pass.TypesInfo, argCall); fresh {
+			pass.Reportf(argCall.Pos(),
+				"%s receives a ctx but passes context.%s() to %s, dropping the caller's deadline; forward the ctx parameter",
+				fd.Name.Name, name, callName(call))
+		}
+		return true
+	})
+}
+
+// freshContext reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func freshContext(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// callName renders the callee for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "the callee"
+}

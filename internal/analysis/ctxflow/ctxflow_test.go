@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/analysis/analysistest"
+	"github.com/paper-repo/staccato-go/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	// pkg/fixture exercises check 1 (no fresh roots in library code);
+	// ctxfwd sits outside the Paths gate so only check 2 (exported
+	// ctx-taking functions must forward their ctx) fires there.
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "pkg/fixture", "ctxfwd")
+}

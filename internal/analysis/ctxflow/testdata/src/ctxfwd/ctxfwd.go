@@ -1,0 +1,46 @@
+// Package ctxfwd exercises ctxflow's forwarding check outside the
+// Paths gate: fresh roots are legal here (entry-point territory), but
+// an exported function that RECEIVES a ctx must not hand its callee a
+// fresh one.
+package ctxfwd
+
+import "context"
+
+func helper(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Drops receives a ctx and throws it away mid-flight.
+func Drops(ctx context.Context) error {
+	return helper(context.Background()) // want "Drops receives a ctx but passes context\.Background\(\) to helper"
+}
+
+// DropsTODO does the same with TODO.
+func DropsTODO(ctx context.Context) error {
+	return helper(context.TODO()) // want "DropsTODO receives a ctx but passes context\.TODO\(\) to helper"
+}
+
+// Forwards is the correct shape.
+func Forwards(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// Root takes no ctx, so it legitimately owns a fresh root.
+func Root() error {
+	return helper(context.Background())
+}
+
+// drops is unexported: callers inside the package can see the context
+// flow end to end, so the check leaves it alone.
+func drops(ctx context.Context) error {
+	return helper(context.Background())
+}
+
+type client struct{}
+
+func (client) do(ctx context.Context) error { return ctx.Err() }
+
+// DropsMethod drops its ctx calling a method through a selector.
+func DropsMethod(ctx context.Context, c client) error {
+	return c.do(context.Background()) // want "DropsMethod receives a ctx but passes context\.Background\(\) to c.do"
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises ctxflow's library-code check: fresh
+// context roots are flagged, threading the caller's ctx is not.
+package fixture
+
+import "context"
+
+func freshRoot() context.Context {
+	return context.Background() // want "context.Background\(\) in library code severs the caller's deadline"
+}
+
+func todoRoot() {
+	ctx := context.TODO() // want "context.TODO\(\) in library code severs the caller's deadline"
+	_ = ctx
+}
+
+// Threads reuses the ctx it was given — the blessed shape.
+func Threads(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// DoubleFault receives a ctx yet hands its callee a fresh root; inside
+// the Paths gate check 1 reports the fresh context itself and check 2
+// stays quiet, so exactly one diagnostic lands on this line.
+func DoubleFault(ctx context.Context) error {
+	return helper(context.Background()) // want "context.Background\(\) in library code severs the caller's deadline"
+}
+
+func helper(ctx context.Context) error {
+	return ctx.Err()
+}
+
+//lint:allow ctxflow startup work in this fixture has no caller deadline to inherit
+func annotated() context.Context {
+	return context.Background()
+}

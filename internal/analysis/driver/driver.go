@@ -1,0 +1,79 @@
+// Package driver loads packages and runs the staccatolint suite over
+// them — the engine behind cmd/staccatovet. It is a separate package so
+// the whole flow (pattern expansion, analysis, //lint:allow filtering,
+// diagnostic formatting, exit status) is testable without executing a
+// child process.
+package driver
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/paper-repo/staccato-go/internal/analysis"
+	"github.com/paper-repo/staccato-go/internal/analysis/loader"
+	"github.com/paper-repo/staccato-go/internal/analysis/staccatolint"
+)
+
+// Run analyzes the packages matched by patterns (default "./...")
+// under the module containing dir, writing findings to out. It returns
+// the number of findings; an error means the analysis itself could not
+// run (bad pattern, unparseable source).
+func Run(dir string, patterns []string, out io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l, err := loader.New(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	analyzers := staccatolint.Analyzers()
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		// A malformed or misaddressed //lint:allow is itself a finding:
+		// the escape hatch must never silently suppress nothing.
+		for _, d := range analysis.CheckDirectives(pkg.Fset, pkg.Files, known) {
+			findings++
+			fmt.Fprintf(out, "%s: lint: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+		}
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.PkgPath,
+				RelPath:   pkg.RelPath,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return findings, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+			diags = analysis.ApplyAllows(a.Name, pkg.Fset, pkg.Files, diags)
+			sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+			for _, d := range diags {
+				findings++
+				fmt.Fprintf(out, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// List writes each analyzer's name and doc to out, for -list.
+func List(out io.Writer) {
+	for _, a := range staccatolint.Analyzers() {
+		fmt.Fprintf(out, "%-13s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,14 @@
+package expvarglobal_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/analysis/analysistest"
+	"github.com/paper-repo/staccato-go/internal/analysis/expvarglobal"
+)
+
+func TestExpvarglobal(t *testing.T) {
+	// pkg/fixture is library code where global registration is banned;
+	// cmd/fixture is entry-point territory outside the Paths gate.
+	analysistest.Run(t, "testdata", expvarglobal.Analyzer, "pkg/fixture", "cmd/fixture")
+}

@@ -1,0 +1,11 @@
+// Package fixture registers global expvars outside the Paths gate —
+// entry-point territory, where owning the process registry is fine.
+package fixture
+
+import "expvar"
+
+var requests = expvar.NewInt("cmd_requests")
+
+func publish(m *expvar.Map) {
+	expvar.Publish("cmd_map", m)
+}

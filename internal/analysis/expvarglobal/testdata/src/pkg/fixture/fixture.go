@@ -1,0 +1,28 @@
+// Package fixture exercises expvarglobal: registering into expvar's
+// process-global table is flagged in library code; the per-server
+// new(expvar.Map).Init() shape is not.
+package fixture
+
+import "expvar"
+
+var hits = expvar.NewInt("fixture_hits") // want "expvar.NewInt registers a process-global var"
+
+func publish(m *expvar.Map) {
+	expvar.Publish("fixture_map", m) // want "expvar.Publish registers a process-global var"
+}
+
+func newMap() *expvar.Map {
+	return expvar.NewMap("fixture_m") // want "expvar.NewMap registers a process-global var"
+}
+
+// perServer builds the allowed shape: an unregistered map the server
+// exposes through its own handler.
+func perServer() *expvar.Map {
+	return new(expvar.Map).Init()
+}
+
+// plainValues are fine too — only registration is global.
+var counter expvar.Int
+
+//lint:allow expvarglobal this fixture deliberately owns one process-wide var
+var annotated = expvar.NewInt("fixture_annotated")

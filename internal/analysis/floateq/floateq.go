@@ -1,0 +1,62 @@
+// Package floateq flags == and != between floating-point values.
+// Probabilities in this repo are float64s produced by long chains of
+// multiplications and (deterministically ordered) additions; exact
+// equality on them is almost always a latent bug that epsilon
+// comparison — internal/core.ProbEq — expresses honestly. internal/core
+// itself is exempt: it is where the epsilon helpers live, and helpers
+// like WeightFromProb legitimately branch on exact boundary values.
+//
+// The few exact comparisons that are genuinely intended (skipping
+// exactly-zero mass in a DP, for instance) carry a
+// //lint:allow floateq <reason> annotation instead of weakening the
+// check.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/paper-repo/staccato-go/internal/analysis"
+)
+
+// ExemptPaths lists module-relative packages where exact float
+// comparison is allowed wholesale — the home of the epsilon helpers.
+var ExemptPaths = []string{"internal/core"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on floating-point values outside internal/core; " +
+		"use core.ProbEq or annotate the intended exact comparison",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathMatches(pass.RelPath, ExemptPaths) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"exact %s on floating-point values; probabilities need core.ProbEq (or //lint:allow floateq <reason> if exactness is the point)",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,14 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/analysis/analysistest"
+	"github.com/paper-repo/staccato-go/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	// pkg/fixture is ordinary library code; internal/core is the exempt
+	// home of the epsilon helpers and must stay silent.
+	analysistest.Run(t, "testdata", floateq.Analyzer, "pkg/fixture", "internal/core")
+}

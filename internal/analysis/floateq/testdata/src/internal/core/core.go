@@ -1,0 +1,12 @@
+// Package core stands in for the repo's internal/core: the exempt
+// package where epsilon helpers live, so exact comparison is allowed
+// wholesale and nothing here may be reported.
+package core
+
+func probEq(a, b float64) bool {
+	return a == b
+}
+
+func boundary(p float64) bool {
+	return p != 1
+}

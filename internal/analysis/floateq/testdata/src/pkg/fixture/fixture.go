@@ -1,0 +1,28 @@
+// Package fixture exercises floateq: exact ==/!= with a float operand
+// is flagged, integer comparison and annotated sentinels are not.
+package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want "exact == on floating-point values"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "exact != on floating-point values"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "exact == on floating-point values"
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func ordered(a, b float64) bool {
+	return a < b
+}
+
+func zeroSentinel(p float64) bool {
+	//lint:allow floateq exact zero is the unset sentinel in this fixture
+	return p == 0
+}

@@ -1,0 +1,15 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/analysis/analysistest"
+	"github.com/paper-repo/staccato-go/internal/analysis/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	// The fixture lives under the pkg/store/diskstore Paths gate;
+	// other/fixture holds the same shapes outside it and must stay
+	// silent.
+	analysistest.Run(t, "testdata", lockio.Analyzer, "pkg/store/diskstore/fixture", "other/fixture")
+}

@@ -1,0 +1,20 @@
+// Package fixture holds lockio violations outside the analyzer's
+// Paths gate; none of them may be reported.
+package fixture
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (s *store) decodeUnderLock(buf []byte, v any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Unmarshal(buf, v)
+}

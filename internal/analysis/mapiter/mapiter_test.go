@@ -1,0 +1,15 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/analysis/analysistest"
+	"github.com/paper-repo/staccato-go/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	// pkg/query/fixture sits inside the analyzer's default Paths gate;
+	// other/fixture holds the same violations outside it and must stay
+	// silent.
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "pkg/query/fixture", "other/fixture")
+}

@@ -1,0 +1,19 @@
+// Package fixture holds mapiter violations in a package outside the
+// analyzer's Paths gate; none of them may be reported.
+package fixture
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func accumulateFloat(m map[string]float64) float64 {
+	total := 0.0
+	for _, p := range m {
+		total += p
+	}
+	return total
+}

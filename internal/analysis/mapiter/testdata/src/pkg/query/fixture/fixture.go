@@ -1,0 +1,105 @@
+// Package fixture exercises mapiter: order-dependent effects under map
+// ranges are flagged; extract-and-sort, non-map ranges, and annotated
+// loops are not.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to a slice that is not sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+func appendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendSortSlice(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func accumulateFloat(m map[string]float64) float64 {
+	total := 0.0
+	for _, p := range m { // want "accumulates a float"
+		total += p
+	}
+	return total
+}
+
+func accumulateRewrite(m map[string]float64) float64 {
+	total := 0.0
+	for _, p := range m { // want "accumulates a float"
+		total = total * p
+	}
+	return total
+}
+
+func writesOutput(m map[string]int) {
+	for k := range m { // want "writes output via fmt.Println"
+		fmt.Println(k)
+	}
+}
+
+func writesBuilder(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want "writes output via WriteString"
+		sb.WriteString(k)
+	}
+}
+
+func writesFprintf(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want "writes output via fmt.Fprintf"
+		fmt.Fprintf(sb, "%s ", k)
+	}
+}
+
+func incFloat(m map[string]bool) float64 {
+	x := 0.0
+	for range m { // want "accumulates a float"
+		x++
+	}
+	return x
+}
+
+func accumulateInt(m map[string]int) int {
+	// Integer addition commutes exactly; only float accumulation is
+	// order-dependent.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func annotated(m map[string]float64) float64 {
+	t := 0.0
+	//lint:allow mapiter this fixture tolerates addition reordering on purpose
+	for _, p := range m {
+		t += p
+	}
+	return t
+}

@@ -45,6 +45,22 @@ func LogAddWeights(a, b float64) float64 {
 	return a - math.Log1p(math.Exp(a-b))
 }
 
+// ProbEps is the tolerance ProbEq compares under. Probabilities in this
+// codebase come out of log-domain accumulation (LogAddWeights) and
+// exp/log round trips, which cost a few ulps per arc; 1e-12 absorbs that
+// noise while staying far below any probability mass the ranking layers
+// treat as meaningful.
+const ProbEps = 1e-12
+
+// ProbEq reports whether two probabilities are equal to within ProbEps.
+// Use it instead of == whenever two independently accumulated
+// probabilities are compared; exact float equality is reserved for
+// sort-comparator tie-breaks and zero-sentinel checks, which must be
+// annotated //lint:allow floateq where they occur.
+func ProbEq(a, b float64) bool {
+	return math.Abs(a-b) <= ProbEps
+}
+
 // StringFromReversed builds a string from runes collected in reverse
 // order — the shape every backpointer traceback (Viterbi, top-k paths)
 // produces.

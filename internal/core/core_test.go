@@ -56,3 +56,27 @@ func TestIsWordRune(t *testing.T) {
 		}
 	}
 }
+
+func TestProbEq(t *testing.T) {
+	if !ProbEq(0.5, 0.5) {
+		t.Errorf("ProbEq(0.5, 0.5) = false")
+	}
+	// Differences at the accumulated-rounding scale are equal...
+	if !ProbEq(0.5, 0.5+ProbEps/2) {
+		t.Errorf("ProbEq did not absorb sub-epsilon noise")
+	}
+	if !ProbEq(0.5+ProbEps/2, 0.5) {
+		t.Errorf("ProbEq is not symmetric")
+	}
+	// ...but anything meaningfully apart is not.
+	if ProbEq(0.5, 0.5+2*ProbEps) {
+		t.Errorf("ProbEq equated values %v apart", 2*ProbEps)
+	}
+	if ProbEq(0, 1) {
+		t.Errorf("ProbEq(0, 1) = true")
+	}
+	// A round trip through the log domain lands within ProbEps.
+	if p := 0.37; !ProbEq(p, ProbFromWeight(WeightFromProb(p))) {
+		t.Errorf("log-domain round trip of %v drifted past ProbEps", p)
+	}
+}

@@ -41,6 +41,7 @@ type Config struct {
 	MaxConfusables int
 }
 
+//lint:allow floateq the zero value means "field unset, apply the default" — an exact sentinel, not a computed probability
 func (c Config) withDefaults() Config {
 	if c.Length == 0 {
 		c.Length = 100

@@ -117,8 +117,18 @@ func (b *Builder) Build() (*SFST, error) {
 			rev[a.To] = append(rev[a.To], StateID(s))
 		}
 	}
-	coreach := make([]bool, n)
+	// Seed the traversal from the finals in sorted order: b.finals is a
+	// map, and a randomized seeding order would make the stack's
+	// evolution (though not the resulting coreach set) differ run to
+	// run — the kind of latent nondeterminism this Builder promises not
+	// to have.
+	finals := make([]StateID, 0, len(b.finals))
 	for s := range b.finals {
+		finals = append(finals, s)
+	}
+	sort.Slice(finals, func(i, j int) bool { return finals[i] < finals[j] })
+	coreach := make([]bool, n)
+	for _, s := range finals {
 		if !coreach[s] {
 			coreach[s] = true
 			stack = append(stack, s)

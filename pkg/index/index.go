@@ -220,8 +220,16 @@ func (ix *Index) Entries() []Entry {
 		byID[id] = e
 		ids = append(ids, id)
 	}
-	for g, posts := range ix.post {
-		for _, o := range posts {
+	// Walk the posting map in sorted gram order so each entry's gram
+	// slice is assembled deterministically (map iteration order is
+	// randomized; appending under it would shuffle Grams run to run).
+	grams := make([]string, 0, len(ix.post))
+	for g := range ix.post {
+		grams = append(grams, g)
+	}
+	sort.Strings(grams)
+	for _, g := range grams {
+		for _, o := range ix.post[g] {
 			id := ix.ids[o]
 			if id == "" || ix.ord[id] != o {
 				continue

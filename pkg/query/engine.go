@@ -158,6 +158,7 @@ func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Re
 // Search paths share, which is what makes their outputs byte-identical.
 func rankResults(out []Result, topN int) []Result {
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floateq sort comparators need exact comparison — an epsilon tie-break is not a strict weak order and would make the ranking itself nondeterministic
 		if out[i].Prob != out[j].Prob {
 			return out[i].Prob > out[j].Prob
 		}

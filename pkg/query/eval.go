@@ -38,6 +38,7 @@ func evalDoc(d *staccato.Doc, a automaton) float64 {
 	for _, ch := range d.Chunks {
 		next := make([]float64, len(vec))
 		for q, p := range vec {
+			//lint:allow floateq exact zero marks an unreached state (never written); an epsilon test would skip real low-probability mass
 			if p == 0 {
 				continue
 			}

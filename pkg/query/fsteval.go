@@ -74,6 +74,7 @@ func (q *Query) EvalFST(f *fst.SFST) (float64, error) {
 		}
 		mass[s] = nil // fully propagated; release early
 	}
+	//lint:allow floateq exact zero means no accepting path contributed any mass at all; an epsilon test would misreport tiny-but-real mass as an error
 	if total == 0 {
 		return 0, fmt.Errorf("query: transducer has no accepting mass")
 	}

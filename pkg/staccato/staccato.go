@@ -143,6 +143,7 @@ func Build(f *fst.SFST, id string, numChunks, k int) (*Doc, error) {
 // text so output is deterministic.
 func sortAlts(alts []Alt) {
 	sort.Slice(alts, func(i, j int) bool {
+		//lint:allow floateq sort comparators need exact comparison — an epsilon tie-break is not a strict weak order and would make alternative order nondeterministic
 		if alts[i].Prob != alts[j].Prob {
 			return alts[i].Prob > alts[j].Prob
 		}

@@ -162,6 +162,7 @@ func (db *DB) loadOrRebuildIndex() error {
 	persisted := true
 	ix, got, err := index.Load(db.indexPath(), db.cfg.gramSize)
 	if err != nil || got != wantState {
+		//lint:allow ctxflow Open's signature deliberately takes no context (a DB either opens or it doesn't); the rebuild scan is startup work with no caller deadline to inherit
 		ix, err = db.scannedIndex(context.Background())
 		if err != nil {
 			return err

@@ -73,6 +73,7 @@ func (b *Batch) Commit(ctx context.Context) error {
 	}
 	b.s.mu.Lock()
 	defer b.s.mu.Unlock()
+	//lint:allow lockio the write path is serialized by design: the batch's append+fsync must be atomic with the index update
 	if err := b.s.writeOps(b.ops, hookOps, prepared); err != nil {
 		return err
 	}

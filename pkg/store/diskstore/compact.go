@@ -19,6 +19,8 @@ import (
 // the old files are deleted last. A crash before the flip leaves the old
 // store intact (the new files are swept as stale on Open); a crash after
 // it leaves the compacted store intact (the old files are swept instead).
+//
+//lint:allow lockio compaction is exclusive by design: the whole rewrite-and-flip must run under the write lock so no reader ever observes a half-swapped segment set
 func (s *Store) Compact(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err

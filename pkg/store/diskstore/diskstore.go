@@ -588,30 +588,41 @@ func (s *Store) Put(ctx context.Context, doc *staccato.Doc) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//lint:allow lockio the write path is serialized by design: append+fsync must be atomic with the index update or a crash could expose a record the index never covers
 	return s.writeOps([]op{o}, hookOps, prepared)
 }
 
-// Get returns the document with the given ID, or store.ErrNotFound.
+// Get returns the document with the given ID, or store.ErrNotFound. Like
+// GetBatch, it holds the read lock only long enough to copy the raw
+// record off its segment; decoding happens after the lock is released.
 func (s *Store) Get(ctx context.Context, id string) (*staccato.Doc, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.closed {
+		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
 	ref, ok := s.index[id]
 	if !ok {
+		s.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %q", store.ErrNotFound, id)
 	}
-	return s.readDoc(id, ref)
+	//lint:allow lockio the read lock must pin the segment file open across the ReadAt (Compact closes segments under the write lock); only the decode happens outside
+	payload, err := s.readPayload(ref)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return decodeLivePayload(id, payload)
 }
 
-// readDoc reads and decodes one live record. Callers must hold s.mu (read
-// or write): the lock keeps Compact from closing the segment file under
-// the ReadAt.
-func (s *Store) readDoc(id string, ref recordRef) (*staccato.Doc, error) {
+// readPayload copies one record payload off its segment. Callers must
+// hold s.mu (read or write): the lock keeps Compact from closing the
+// segment file under the ReadAt. Decoding the returned bytes is the
+// caller's job, after releasing the lock.
+func (s *Store) readPayload(ref recordRef) ([]byte, error) {
 	seg := s.segs[ref.seg]
 	if seg == nil {
 		return nil, fmt.Errorf("diskstore: index references missing segment %d", ref.seg)
@@ -620,7 +631,7 @@ func (s *Store) readDoc(id string, ref recordRef) (*staccato.Doc, error) {
 	if _, err := seg.f.ReadAt(payload, ref.off); err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
-	return decodeLivePayload(id, payload)
+	return payload, nil
 }
 
 // decodeLivePayload parses one record payload and decodes its document,
@@ -679,6 +690,7 @@ func (s *Store) GetBatch(ctx context.Context, ids []string) ([]*staccato.Doc, er
 			return nil, fmt.Errorf("diskstore: index references missing segment %d", sl.ref.seg)
 		}
 		payloads[i] = make([]byte, sl.ref.n)
+		//lint:allow lockio the read lock must pin the segment files open across the batch's ReadAt pass; decoding happens below, after RUnlock
 		if _, err := seg.f.ReadAt(payloads[i], sl.ref.off); err != nil {
 			s.mu.RUnlock()
 			return nil, fmt.Errorf("diskstore: %w", err)
@@ -723,6 +735,7 @@ func (s *Store) Delete(ctx context.Context, id string) error {
 	if _, ok := s.index[id]; !ok {
 		return nil
 	}
+	//lint:allow lockio the write path is serialized by design: the tombstone append+fsync must be atomic with the index removal
 	return s.writeOps([]op{{kind: recDelete, id: id}}, hookOps, prepared)
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's static gate: formatting, go vet, and the
+# staccatolint invariant suite (cmd/staccatovet). CI's lint job runs
+# this script; run it locally before pushing to get the same verdict.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" "$unformatted"
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== staccatovet (repo invariant suite)"
+go run ./cmd/staccatovet ./...
+
+echo "lint: all clean"
