@@ -26,13 +26,15 @@
 //
 // search runs one compiled boolean query against a corpus through the
 // pruning planner and the worker-pool engine, printing the ranked
-// matches; -v also prints the pruning plan and how many documents the
+// matches; -snippets N additionally prints each match's top N readings
+// that contain the query terms, with per-reading probabilities and term
+// positions; -v also prints the pruning plan and how many documents the
 // index let the engine skip. The corpus is either synthetic and
 // in-memory (-docs) or a directory previously written by ingest
 // (-store); exactly one must be given:
 //
 //	staccato search {-docs N | -store DIR} [-workers N] [-top N]
-//	                [-minprob P] [-mode substring|keyword]
+//	                [-minprob P] [-mode substring|keyword] [-snippets N]
 //	                [-combine and|or] [-not TERM] [-noindex] [-v] TERM...
 //
 // index brings the inverted index of an existing database directory up

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -408,5 +409,60 @@ func TestDemoRejectsPositionalArgs(t *testing.T) {
 func TestSearchRejectsTrailingFlags(t *testing.T) {
 	if err := searchMain(&strings.Builder{}, []string{"e", "-top", "5"}); err == nil {
 		t.Error("search accepted a flag-shaped positional term")
+	}
+}
+
+// TestSearchSnippetsFlag runs search with -snippets and checks the
+// ranked list is unchanged from a plain search, every printed reading
+// is rendered with a witnessed span, and the readings appear in the
+// output stream.
+func TestSearchSnippetsFlag(t *testing.T) {
+	cfg := searchConfig{
+		docs: 15, length: 40, seed: 5, chunks: 5, k: 3,
+		workers: 2, top: 5, mode: "substring", combine: "and",
+	}
+	cases, err := testgen.Docs(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := cases[3].Doc.MAP()[10:14]
+	cfg.terms = []string{term}
+
+	plain, err := runSearch(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.snippets = 2
+	var out strings.Builder
+	snip, err := runSearch(&out, cfg)
+	if err != nil {
+		t.Fatalf("runSearch -snippets: %v\noutput:\n%s", err, out.String())
+	}
+	if !reflect.DeepEqual(plain.results, snip.results) {
+		t.Fatalf("-snippets changed the ranked results\n plain: %+v\n snips: %+v", plain.results, snip.results)
+	}
+	if len(snip.snips) != len(snip.results) {
+		t.Fatalf("%d snippet reports for %d results", len(snip.snips), len(snip.results))
+	}
+	sawReading := false
+	for _, sn := range snip.snips {
+		for _, rd := range sn.Readings {
+			sawReading = true
+			if len(rd.Spans) == 0 {
+				t.Errorf("doc %s: reading %q has no spans", sn.DocID, rd.Text)
+			}
+			for _, sp := range rd.Spans {
+				if rd.Text[sp.Start:sp.End] != term {
+					t.Errorf("doc %s: span [%d,%d) does not witness %q in %q",
+						sn.DocID, sp.Start, sp.End, term, rd.Text)
+				}
+			}
+			if !strings.Contains(out.String(), fmt.Sprintf("%q", rd.Text)) {
+				t.Errorf("reading %q not printed in output:\n%s", rd.Text, out.String())
+			}
+		}
+	}
+	if !sawReading {
+		t.Fatal("no readings reported for any matching document")
 	}
 }

@@ -21,21 +21,22 @@ import (
 // (synthetic in-memory corpus) and store (persisted database directory)
 // selects where the documents come from.
 type searchConfig struct {
-	docs    int
-	store   string
-	length  int
-	seed    int64
-	chunks  int
-	k       int
-	workers int
-	top     int
-	minProb float64
-	mode    string
-	combine string
-	not     string
-	noIndex bool
-	verbose bool
-	terms   []string
+	docs     int
+	store    string
+	length   int
+	seed     int64
+	chunks   int
+	k        int
+	workers  int
+	top      int
+	minProb  float64
+	mode     string
+	combine  string
+	not      string
+	noIndex  bool
+	verbose  bool
+	snippets int
+	terms    []string
 }
 
 // searchReport captures the deterministic part of a search run.
@@ -46,6 +47,7 @@ type searchReport struct {
 	mode    query.ExecMode
 	fetched int
 	results []query.Result
+	snips   []query.DocSnippets
 }
 
 func searchMain(w io.Writer, args []string) error {
@@ -65,6 +67,7 @@ func searchMain(w io.Writer, args []string) error {
 	fs.StringVar(&cfg.combine, "combine", "and", "combine multiple terms with: and or or")
 	fs.StringVar(&cfg.not, "not", "", "additionally require this term to be absent")
 	fs.BoolVar(&cfg.noIndex, "noindex", false, "skip the inverted index and scan every document")
+	fs.IntVar(&cfg.snippets, "snippets", 0, "print up to N top matching readings per result, with term positions")
 	fs.BoolVar(&cfg.verbose, "v", false, "print the pruning plan and per-run planner stats")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -221,9 +224,26 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	}
 
 	searchStart := time.Now()
-	results, stats, err := db.Search(ctx, q, query.SearchOptions{MinProb: cfg.minProb, TopN: cfg.top})
-	if err != nil {
-		return rep, err
+	sopts := query.SearchOptions{MinProb: cfg.minProb, TopN: cfg.top}
+	var results []query.Result
+	var stats query.SearchStats
+	if cfg.snippets > 0 {
+		// Snippets ride on the same Search; each DocSnippets carries the
+		// Result's DocID and probability, so the ranked list is recovered
+		// without a second pass.
+		rep.snips, stats, err = db.Snippets(ctx, q, sopts, query.SnippetOptions{MaxReadings: cfg.snippets})
+		if err != nil {
+			return rep, err
+		}
+		results = make([]query.Result, len(rep.snips))
+		for i, sn := range rep.snips {
+			results[i] = query.Result{DocID: sn.DocID, Prob: sn.Prob}
+		}
+	} else {
+		results, stats, err = db.Search(ctx, q, sopts)
+		if err != nil {
+			return rep, err
+		}
 	}
 	rep.results = results
 	rep.pruned = stats.DocsPruned
@@ -248,6 +268,25 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	fmt.Fprintf(w, "%4s  %-8s  %s\n", "rank", "prob", "doc")
 	for i, r := range rep.results {
 		fmt.Fprintf(w, "%4d  %-8.4f  %s\n", i+1, r.Prob, r.DocID)
+		if cfg.snippets > 0 {
+			printSnippets(w, rep.snips[i])
+		}
 	}
 	return rep, nil
+}
+
+// printSnippets renders one document's matching readings under its
+// result row: per-reading probability, the reading text, and every term
+// occurrence as term@byteStart-byteEnd.
+func printSnippets(w io.Writer, sn query.DocSnippets) {
+	for _, rd := range sn.Readings {
+		fmt.Fprintf(w, "      p=%-8.4f %q", rd.Prob, rd.Text)
+		for _, sp := range rd.Spans {
+			fmt.Fprintf(w, "  %s@%d-%d", sp.Term, sp.Start, sp.End)
+		}
+		fmt.Fprintln(w)
+	}
+	if sn.Truncated {
+		fmt.Fprintln(w, "      (enumeration budget hit before all requested readings were found)")
+	}
 }

@@ -1,0 +1,166 @@
+// Command staccatorecall runs the end-to-end recall benchmark: it
+// generates an error-model OCR corpus (internal/testgen), ingests it
+// into staccatodb at several (chunks, k) dial settings, runs a fixed
+// keyword workload against each, and compares recall against the MAP
+// baseline (Viterbi strings only) and the exact FullSFST oracle
+// (query.EvalFST over the raw transducers). The result is the
+// CI-tracked artifact BENCH_recall.json, reproducing the paper's
+// headline recall curve: MAP < Staccato(c, k) <= Full.
+//
+//	staccatorecall [-docs N] [-queries N] [-seed N] [-model SPEC]
+//	               [-dials LIST] [-default C,K] [-out FILE] [-gate]
+//
+// -model takes the error-model wire format ("words=12,subrate=0.06,...",
+// see testgen.ParseErrModelConfig); -dials a semicolon-separated list of
+// chunks,k pairs ("4,2;6,3;8,4"). With -gate the process exits nonzero
+// unless the default dial's recall strictly exceeds MAP's without
+// exceeding the oracle's — the CI quality gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/paper-repo/staccato-go/internal/recallbench"
+	"github.com/paper-repo/staccato-go/internal/testgen"
+)
+
+type config struct {
+	docs    int
+	queries int
+	seed    int64
+	model   string
+	dials   string
+	deflt   string
+	out     string
+	gate    bool
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "staccatorecall:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("staccatorecall", flag.ContinueOnError)
+	fs.SetOutput(w)
+	cfg := config{}
+	fs.IntVar(&cfg.docs, "docs", 1000, "corpus size")
+	fs.IntVar(&cfg.queries, "queries", 16, "keyword workload size")
+	fs.Int64Var(&cfg.seed, "seed", 1, "seed for the corpus and the workload sample")
+	fs.StringVar(&cfg.model, "model", "", "error-model spec, key=value comma-separated (empty = defaults)")
+	fs.StringVar(&cfg.dials, "dials", "4,2;6,3;8,4", "semicolon-separated chunks,k dial settings to sweep")
+	fs.StringVar(&cfg.deflt, "default", "6,3", "the dial the headline number and -gate read")
+	fs.StringVar(&cfg.out, "out", "BENCH_recall.json", "artifact path")
+	fs.BoolVar(&cfg.gate, "gate", false, "exit nonzero unless MAP < Staccato(default) <= Full")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	rep, err := runBench(w, cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.gate && (!rep.GateMAPBeaten || !rep.GateFullBound) {
+		return fmt.Errorf("recall gate failed: map=%.4f staccato=%.4f full=%.4f (want map < staccato <= full)",
+			rep.MAPRecall, rep.StaccatoRecall, rep.FullRecall)
+	}
+	return nil
+}
+
+// parseDial parses one "chunks,k" pair.
+func parseDial(s string) (recallbench.Dial, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 2 {
+		return recallbench.Dial{}, fmt.Errorf("bad dial %q (want chunks,k)", s)
+	}
+	c, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return recallbench.Dial{}, fmt.Errorf("bad dial %q: %v", s, err)
+	}
+	k, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return recallbench.Dial{}, fmt.Errorf("bad dial %q: %v", s, err)
+	}
+	if c < 1 || c > 64 || k < 1 || k > 64 {
+		return recallbench.Dial{}, fmt.Errorf("dial %q out of range (chunks and k must be in [1, 64])", s)
+	}
+	return recallbench.Dial{Chunks: c, K: k}, nil
+}
+
+func runBench(w io.Writer, cfg config) (*recallbench.Report, error) {
+	model, err := testgen.ParseErrModelConfig(cfg.model)
+	if err != nil {
+		return nil, err
+	}
+	model.Seed = cfg.seed
+	var dials []recallbench.Dial
+	for _, s := range strings.Split(cfg.dials, ";") {
+		if strings.TrimSpace(s) == "" {
+			continue
+		}
+		d, err := parseDial(s)
+		if err != nil {
+			return nil, err
+		}
+		dials = append(dials, d)
+	}
+	deflt, err := parseDial(cfg.deflt)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	rep, err := recallbench.Run(context.Background(), recallbench.Options{
+		Docs:      cfg.docs,
+		Model:     model,
+		Queries:   cfg.queries,
+		QuerySeed: cfg.seed,
+		Dials:     dials,
+		Default:   deflt,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "corpus: %d docs, model %s\n", rep.Docs, rep.Model)
+	fmt.Fprintf(w, "workload: %d keyword queries\n", len(rep.Queries))
+	fmt.Fprintf(w, "%-14s  %-8s  %-8s\n", "setting", "recall", "avgprec")
+	fmt.Fprintf(w, "%-14s  %-8.4f  %-8s\n", "MAP", rep.MAPRecall, "-")
+	for _, d := range rep.Dials {
+		marker := ""
+		if (recallbench.Dial{Chunks: d.Chunks, K: d.K}) == rep.DefaultDial {
+			marker = " *"
+		}
+		fmt.Fprintf(w, "%-14s  %-8.4f  %-8.4f\n",
+			fmt.Sprintf("Staccato(%d,%d)%s", d.Chunks, d.K, marker), d.Recall, d.AvgPrecision)
+	}
+	fmt.Fprintf(w, "%-14s  %-8.4f  %-8s\n", "FullSFST", rep.FullRecall, "-")
+	fmt.Fprintf(w, "gates: map_beaten=%v full_bound=%v (%v elapsed)\n",
+		rep.GateMAPBeaten, rep.GateFullBound, time.Since(start).Round(time.Millisecond))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "wrote %s\n", cfg.out)
+	return rep, nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/recallbench"
+)
+
+// TestRecallBenchEndToEnd runs the binary's whole pipeline on a tiny
+// corpus and checks the artifact parses back into a report whose gates
+// hold — the same invariant CI enforces at full scale.
+func TestRecallBenchEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_recall.json")
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-docs", "60", "-queries", "6", "-seed", "3",
+		"-model", "words=10", "-dials", "3,2;6,3", "-default", "6,3",
+		"-out", out, "-gate",
+	})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep recallbench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Docs != 60 || len(rep.Dials) != 2 {
+		t.Fatalf("artifact shape wrong: %+v", rep)
+	}
+	if !rep.GateMAPBeaten || !rep.GateFullBound {
+		t.Fatalf("gates failed on the test corpus: %+v", rep)
+	}
+	//lint:allow floateq full recall is exactly 1 by construction
+	if rep.FullRecall != 1 {
+		t.Fatalf("full_recall = %v, want exactly 1", rep.FullRecall)
+	}
+	if !strings.Contains(sb.String(), "gates: map_beaten=true full_bound=true") {
+		t.Errorf("human report missing the gate line:\n%s", sb.String())
+	}
+}
+
+// TestRecallBenchValidation pins the flag-error surface.
+func TestRecallBenchValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dials", "nope"},
+		{"-dials", "3"},
+		{"-default", "0,2"},
+		{"-default", "3,999"},
+		{"-model", "nope=1"},
+		{"-model", "subrate=2"},
+		{"positional"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, args); err == nil {
+			t.Errorf("args %v ran without error", args)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package recallbench measures end-to-end retrieval quality on an
+// error-model corpus: the same keyword workload is run against the MAP
+// baseline (Viterbi strings only), the Staccato approximation at several
+// (chunks, k) dial settings ingested through staccatodb, and the exact
+// FullSFST oracle (query.EvalFST over the raw transducers). Retrieval is
+// "match probability > 0" throughout, which makes the three recalls
+// provably nested — MAP ≤ Staccato(c, k) ≤ Full = 1 — so the benchmark
+// reproduces the paper's headline recall curve and its CI gate (Staccato
+// strictly above MAP, never above Full) is structural, not statistical.
+package recallbench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// Dial is one (chunks, k) approximation setting.
+type Dial struct {
+	Chunks int `json:"chunks"`
+	K      int `json:"k"`
+}
+
+func (d Dial) String() string { return fmt.Sprintf("(%d,%d)", d.Chunks, d.K) }
+
+// Options configures one benchmark run. Zero values take the documented
+// defaults.
+type Options struct {
+	// Docs is the corpus size (default 200).
+	Docs int
+	// Model shapes the error-model corpus; its Seed seeds the whole run.
+	Model testgen.ErrModelConfig
+	// Queries is the keyword workload size (default 12).
+	Queries int
+	// QuerySeed seeds workload sampling (default 1).
+	QuerySeed int64
+	// Dials are the Staccato settings to sweep (default (4,2),(6,3),(8,4)).
+	Dials []Dial
+	// Default is the dial the gate booleans and the headline
+	// staccato_recall number read (default (6,3); it is appended to Dials
+	// if absent).
+	Default Dial
+}
+
+func (o Options) withDefaults() Options {
+	if o.Docs == 0 {
+		o.Docs = 200
+	}
+	if o.Queries == 0 {
+		o.Queries = 12
+	}
+	if o.QuerySeed == 0 {
+		o.QuerySeed = 1
+	}
+	if len(o.Dials) == 0 {
+		o.Dials = []Dial{{4, 2}, {6, 3}, {8, 4}}
+	}
+	if o.Default == (Dial{}) {
+		o.Default = Dial{6, 3}
+	}
+	found := false
+	for _, d := range o.Dials {
+		if d == o.Default {
+			found = true
+		}
+	}
+	if !found {
+		o.Dials = append(o.Dials, o.Default)
+	}
+	return o
+}
+
+// DialResult is one dial's sweep entry.
+type DialResult struct {
+	Chunks int `json:"chunks"`
+	K      int `json:"k"`
+	// Recall is the macro-averaged fraction of relevant documents
+	// retrieved with probability > 0.
+	Recall float64 `json:"recall"`
+	// AvgPrecision is the macro-averaged average precision of the ranked
+	// result lists — sensitive to ordering, unlike Recall.
+	AvgPrecision float64 `json:"avg_precision"`
+	// Retrieved is the mean retrieved-set size per query.
+	Retrieved float64 `json:"retrieved"`
+}
+
+// Report is the benchmark's JSON artifact (BENCH_recall.json).
+type Report struct {
+	Docs    int      `json:"docs"`
+	Model   string   `json:"model"`
+	Queries []string `json:"queries"`
+	// MAPRecall is the Viterbi-strings-only baseline.
+	MAPRecall float64 `json:"map_recall"`
+	// StaccatoRecall is the default dial's recall.
+	StaccatoRecall float64 `json:"staccato_recall"`
+	// FullRecall is the exact FullSFST oracle's recall (always 1: the
+	// ground truth is an accepting path of its own transducer).
+	FullRecall  float64      `json:"full_recall"`
+	DefaultDial Dial         `json:"default_dial"`
+	Dials       []DialResult `json:"dials"`
+	// GateMAPBeaten: the default dial's recall strictly exceeds MAP's —
+	// the approximation is buying real recall, the paper's headline claim.
+	GateMAPBeaten bool `json:"gate_map_beaten"`
+	// GateFullBound: the default dial's recall does not exceed the exact
+	// oracle's — the approximation never hallucinates relevant documents.
+	GateFullBound bool `json:"gate_full_bound"`
+}
+
+// run holds one benchmark's materialized state, shared between Run and
+// the property tests (which need the raw retrieval sets, not just the
+// averaged recalls).
+type run struct {
+	opts     Options
+	cases    []testgen.Case
+	terms    []string
+	relevant []map[string]bool // per term: doc IDs whose truth contains it
+	queries  []*query.Query
+	mapSets  []map[string]bool // per term: MAP-baseline retrieval set
+	fullSets []map[string]bool // per term: FullSFST retrieval set
+}
+
+// docID matches testgen.EachErrDoc's naming, so DB results join back to
+// the corpus.
+func docID(i int) string { return fmt.Sprintf("doc-%04d", i+1) }
+
+// newRun generates the corpus, samples the workload, and evaluates the
+// MAP and FullSFST baselines.
+func newRun(opts Options) (*run, error) {
+	opts = opts.withDefaults()
+	r := &run{opts: opts}
+	var err error
+	if r.cases, err = testgen.ErrCorpusFSTs(opts.Docs, opts.Model); err != nil {
+		return nil, err
+	}
+
+	// Workload: distinct tokens of length >= 4 sampled from random
+	// truths, so every query has a non-empty relevant set.
+	rng := rand.New(rand.NewSource(opts.QuerySeed))
+	seen := map[string]bool{}
+	for attempts := 0; len(r.terms) < opts.Queries && attempts < opts.Queries*200; attempts++ {
+		toks := strings.Fields(r.cases[rng.Intn(len(r.cases))].Truth)
+		if len(toks) == 0 {
+			continue
+		}
+		tok := toks[rng.Intn(len(toks))]
+		if len(tok) < 4 || seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		r.terms = append(r.terms, tok)
+	}
+	if len(r.terms) == 0 {
+		return nil, fmt.Errorf("recallbench: sampled no workload terms from %d documents", len(r.cases))
+	}
+	sort.Strings(r.terms)
+
+	r.queries = make([]*query.Query, len(r.terms))
+	r.relevant = make([]map[string]bool, len(r.terms))
+	r.mapSets = make([]map[string]bool, len(r.terms))
+	r.fullSets = make([]map[string]bool, len(r.terms))
+	for qi, term := range r.terms {
+		q, err := query.Keyword(term)
+		if err != nil {
+			return nil, fmt.Errorf("recallbench: term %q: %w", term, err)
+		}
+		r.queries[qi] = q
+		r.relevant[qi] = map[string]bool{}
+		r.mapSets[qi] = map[string]bool{}
+		r.fullSets[qi] = map[string]bool{}
+		for i, c := range r.cases {
+			id := docID(i)
+			if hasToken(c.Truth, term) {
+				r.relevant[qi][id] = true
+			}
+			// MAP baseline: retrieval over the Viterbi string alone.
+			if matched, _ := q.MatchText(c.FST.Viterbi().Output); matched {
+				r.mapSets[qi][id] = true
+			}
+			// FullSFST oracle: exact positive-probability retrieval over
+			// the raw transducer.
+			p, err := q.EvalFST(c.FST)
+			if err != nil {
+				return nil, fmt.Errorf("recallbench: EvalFST doc %s term %q: %w", id, term, err)
+			}
+			if p > 0 {
+				r.fullSets[qi][id] = true
+			}
+		}
+	}
+	return r, nil
+}
+
+// hasToken reports whether truth contains term as a whole token.
+func hasToken(truth, term string) bool {
+	for _, tok := range strings.Fields(truth) {
+		if tok == term {
+			return true
+		}
+	}
+	return false
+}
+
+// recallOf macro-averages |retrieved ∩ relevant| / |relevant| over the
+// workload, skipping queries with no relevant documents.
+func (r *run) recallOf(sets []map[string]bool) float64 {
+	var sum float64
+	n := 0
+	for qi, rel := range r.relevant {
+		if len(rel) == 0 {
+			continue
+		}
+		hit := 0
+		for id := range rel {
+			if sets[qi][id] {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(len(rel))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// dialSets builds the corpus at one dial, ingests it into an in-memory
+// staccatodb, and runs the workload end to end through Search, returning
+// per-query retrieval sets and ranked ID lists.
+func (r *run) dialSets(ctx context.Context, d Dial) ([]map[string]bool, [][]string, error) {
+	sets := make([]map[string]bool, len(r.queries))
+	ranked := make([][]string, len(r.queries))
+	db, err := staccatodb.OpenMem()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer db.Close()
+	const batch = 128
+	docs := make([]*staccato.Doc, 0, batch)
+	flush := func() error {
+		if len(docs) == 0 {
+			return nil
+		}
+		err := db.Ingest(ctx, docs)
+		docs = docs[:0]
+		return err
+	}
+	for i, c := range r.cases {
+		doc, err := staccato.Build(c.FST, docID(i), d.Chunks, d.K)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recallbench: build %s at %s: %w", docID(i), d, err)
+		}
+		docs = append(docs, doc)
+		if len(docs) == batch {
+			if err := flush(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, nil, err
+	}
+	for qi, q := range r.queries {
+		results, _, err := db.Search(ctx, q, query.SearchOptions{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("recallbench: search %q at %s: %w", r.terms[qi], d, err)
+		}
+		sets[qi] = map[string]bool{}
+		for _, res := range results {
+			ranked[qi] = append(ranked[qi], res.DocID)
+			sets[qi][res.DocID] = true
+		}
+	}
+	return sets, ranked, nil
+}
+
+// avgPrecision macro-averages the ranked lists' average precision.
+func (r *run) avgPrecision(ranked [][]string) float64 {
+	var sum float64
+	n := 0
+	for qi, rel := range r.relevant {
+		if len(rel) == 0 {
+			continue
+		}
+		hits, ap := 0, 0.0
+		for rank, id := range ranked[qi] {
+			if rel[id] {
+				hits++
+				ap += float64(hits) / float64(rank+1)
+			}
+		}
+		sum += ap / float64(len(rel))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Run executes the benchmark and assembles the report.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	r, err := newRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	opts = r.opts
+	rep := &Report{
+		Docs:        opts.Docs,
+		Model:       opts.Model.String(),
+		Queries:     r.terms,
+		MAPRecall:   r.recallOf(r.mapSets),
+		FullRecall:  r.recallOf(r.fullSets),
+		DefaultDial: opts.Default,
+	}
+	for _, d := range opts.Dials {
+		sets, ranked, err := r.dialSets(ctx, d)
+		if err != nil {
+			return nil, err
+		}
+		var retrieved float64
+		for _, s := range sets {
+			retrieved += float64(len(s))
+		}
+		dr := DialResult{
+			Chunks:       d.Chunks,
+			K:            d.K,
+			Recall:       r.recallOf(sets),
+			AvgPrecision: r.avgPrecision(ranked),
+			Retrieved:    retrieved / float64(len(sets)),
+		}
+		rep.Dials = append(rep.Dials, dr)
+		if d == opts.Default {
+			rep.StaccatoRecall = dr.Recall
+		}
+	}
+	rep.GateMAPBeaten = rep.StaccatoRecall > rep.MAPRecall
+	rep.GateFullBound = rep.StaccatoRecall <= rep.FullRecall
+	return rep, nil
+}

@@ -1,0 +1,126 @@
+package recallbench
+
+import (
+	"context"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/internal/testgen"
+)
+
+// TestRecallMonotonicityProperty is the PR's recall-monotonicity
+// property: across seeds, retrieval sets are nested — every document MAP
+// retrieves is retrieved by Staccato at any dial, and every document
+// Staccato retrieves is retrieved by the FullSFST oracle. Averaged
+// recalls inherit the same ordering. The nesting is structural (the MAP
+// reading is retained at every dial with k >= 1, and every retained
+// reading is an accepting path of the transducer), so a single violation
+// is a bug, not noise.
+func TestRecallMonotonicityProperty(t *testing.T) {
+	ctx := context.Background()
+	dials := []Dial{{3, 2}, {5, 3}, {8, 4}}
+	for _, seed := range []int64{1, 101, 5001} {
+		r, err := newRun(Options{
+			Docs:      60,
+			Model:     testgen.ErrModelConfig{Words: 10, Seed: seed},
+			Queries:   8,
+			QuerySeed: seed,
+			Dials:     dials,
+			Default:   dials[1],
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range dials {
+			sets, _, err := r.dialSets(ctx, d)
+			if err != nil {
+				t.Fatalf("seed %d dial %s: %v", seed, d, err)
+			}
+			for qi, term := range r.terms {
+				for id := range r.mapSets[qi] {
+					if !sets[qi][id] {
+						t.Errorf("seed %d dial %s term %q: MAP retrieves %s but Staccato does not",
+							seed, d, term, id)
+					}
+				}
+				for id := range sets[qi] {
+					if !r.fullSets[qi][id] {
+						t.Errorf("seed %d dial %s term %q: Staccato retrieves %s but the FullSFST oracle does not",
+							seed, d, term, id)
+					}
+				}
+			}
+			staccatoRecall := r.recallOf(sets)
+			if mapRecall := r.recallOf(r.mapSets); staccatoRecall < mapRecall {
+				t.Errorf("seed %d dial %s: staccato recall %v below MAP recall %v",
+					seed, d, staccatoRecall, mapRecall)
+			}
+			if fullRecall := r.recallOf(r.fullSets); staccatoRecall > fullRecall {
+				t.Errorf("seed %d dial %s: staccato recall %v above FullSFST recall %v",
+					seed, d, staccatoRecall, fullRecall)
+			}
+		}
+	}
+}
+
+// TestFullRecallIsOne pins the oracle invariant the gate leans on: the
+// ground truth is an accepting path of its own transducer, so the
+// FullSFST baseline retrieves every relevant document.
+func TestFullRecallIsOne(t *testing.T) {
+	r, err := newRun(Options{Docs: 40, Model: testgen.ErrModelConfig{Words: 10, Seed: 3}, Queries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:allow floateq full recall is a ratio of equal integer counts, exactly 1 by construction
+	if got := r.recallOf(r.fullSets); got != 1 {
+		t.Fatalf("FullSFST recall = %v, want exactly 1", got)
+	}
+}
+
+// TestRunReportShape runs a small end-to-end benchmark and checks the
+// artifact's internal consistency: the default dial's entry carries the
+// headline number, the sweep covers every requested dial, and the gate
+// booleans match the recalls they summarize.
+func TestRunReportShape(t *testing.T) {
+	rep, err := Run(context.Background(), Options{
+		Docs:    80,
+		Model:   testgen.ErrModelConfig{Words: 10, Seed: 7},
+		Queries: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Docs != 80 || len(rep.Queries) == 0 {
+		t.Fatalf("report header incomplete: %+v", rep)
+	}
+	if len(rep.Dials) != 3 {
+		t.Fatalf("default sweep has %d dials, want 3: %+v", len(rep.Dials), rep)
+	}
+	found := false
+	for _, d := range rep.Dials {
+		if (Dial{d.Chunks, d.K}) == rep.DefaultDial {
+			found = true
+			//lint:allow floateq the headline number is copied from this entry, not recomputed
+			if d.Recall != rep.StaccatoRecall {
+				t.Errorf("default dial recall %v != staccato_recall %v", d.Recall, rep.StaccatoRecall)
+			}
+		}
+		if d.Recall < 0 || d.Recall > 1 || d.AvgPrecision < 0 || d.AvgPrecision > 1 {
+			t.Errorf("dial (%d,%d) metrics out of range: %+v", d.Chunks, d.K, d)
+		}
+	}
+	if !found {
+		t.Fatalf("default dial %v missing from sweep %+v", rep.DefaultDial, rep.Dials)
+	}
+	if rep.GateMAPBeaten != (rep.StaccatoRecall > rep.MAPRecall) {
+		t.Errorf("gate_map_beaten inconsistent with recalls: %+v", rep)
+	}
+	if rep.GateFullBound != (rep.StaccatoRecall <= rep.FullRecall) {
+		t.Errorf("gate_full_bound inconsistent with recalls: %+v", rep)
+	}
+	// At these noise rates the benchmark's whole point must materialize:
+	// a strict MAP < Staccato gap under the exact upper bound.
+	if !rep.GateMAPBeaten || !rep.GateFullBound {
+		t.Errorf("gates failed on the reference corpus: map=%v staccato=%v full=%v",
+			rep.MAPRecall, rep.StaccatoRecall, rep.FullRecall)
+	}
+}

@@ -1,0 +1,248 @@
+package testgen
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/pkg/fst"
+)
+
+// checkErrModelInvariants verifies the structural contract of one
+// generated (truth, SFST) pair: every state with outgoing arcs
+// distributes exactly probability 1 over them, every arc probability is
+// positive, and the ground truth is an accepting path — which is what
+// guarantees the FullSFST baseline's recall is always 1.
+func checkErrModelInvariants(t *testing.T, truth string, f *fst.SFST) {
+	t.Helper()
+	for s := 0; s < f.NumStates(); s++ {
+		arcs := f.Arcs(fst.StateID(s))
+		if len(arcs) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, a := range arcs {
+			p := a.Prob()
+			if p <= 0 || p > 1 {
+				t.Fatalf("state %d: arc probability %v out of (0, 1]", s, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("state %d: outgoing probability mass %v, want 1", s, sum)
+		}
+	}
+
+	// Reachability DP over (state, truth prefix): the truth must spell a
+	// start→final path.
+	cur := map[fst.StateID]bool{f.Start(): true}
+	for _, r := range truth {
+		next := map[fst.StateID]bool{}
+		for s := range cur {
+			for _, a := range f.Arcs(s) {
+				if a.Label == r {
+					next[a.To] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			t.Fatalf("truth %q is not spellable by the transducer", truth)
+		}
+		cur = next
+	}
+	accepted := false
+	for s := range cur {
+		if f.IsFinal(s) {
+			accepted = true
+		}
+	}
+	if !accepted {
+		t.Fatalf("truth %q spells only non-accepting paths", truth)
+	}
+}
+
+func TestErrModelDeterministic(t *testing.T) {
+	cfg := ErrModelConfig{Words: 10, Seed: 17}
+	t1, f1, err := GenerateErrModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, f2, err := GenerateErrModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("truths differ: %q vs %q", t1, t2)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("same config produced structurally different SFSTs")
+	}
+}
+
+func TestErrModelInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		truth, f, err := GenerateErrModel(ErrModelConfig{Words: 12, Seed: seed, BurstRate: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkErrModelInvariants(t, truth, f)
+	}
+}
+
+// TestErrModelSharedVocabulary pins the property the recall workload
+// depends on: documents generated with different seeds draw tokens from
+// one vocabulary keyed only on VocabSize, so terms recur across the
+// corpus.
+func TestErrModelSharedVocabulary(t *testing.T) {
+	cfg := ErrModelConfig{Words: 30, VocabSize: 40}
+	vocab := map[string]bool{}
+	for _, w := range errVocab(cfg.VocabSize) {
+		vocab[w] = true
+	}
+	tokens := func(seed int64) map[string]bool {
+		c := cfg
+		c.Seed = seed
+		truth, _, err := GenerateErrModel(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, tok := range strings.Fields(truth) {
+			if !vocab[tok] {
+				t.Fatalf("seed %d: token %q is not in the shared vocabulary", seed, tok)
+			}
+			out[tok] = true
+		}
+		return out
+	}
+	a, b := tokens(3), tokens(4)
+	shared := 0
+	for tok := range a {
+		if b[tok] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("two documents share no tokens; the Zipf draw is not concentrating on the shared vocabulary")
+	}
+}
+
+// TestErrModelOpensRecallGap checks the raw material of the benchmark:
+// across a small corpus, hard positions and bursts make some MAP strings
+// diverge from their ground truths — without that, MAP recall would be 1
+// and the CI gate (MAP < Staccato) could never hold.
+func TestErrModelOpensRecallGap(t *testing.T) {
+	cases, err := ErrDocs(20, ErrModelConfig{Words: 12, Seed: 5}, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := 0
+	for _, c := range cases {
+		if c.Doc.MAP() != c.Truth {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("every MAP string equals its truth; the error model injected no effective noise")
+	}
+	if diverged == len(cases) {
+		t.Log("every MAP diverged — harsh but not wrong at these rates")
+	}
+}
+
+func TestParseErrModelConfig(t *testing.T) {
+	t.Run("defaults", func(t *testing.T) {
+		cfg, err := ParseErrModelConfig("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ErrModelConfig{}.withDefaults()
+		if cfg != want {
+			t.Fatalf("empty spec = %+v, want all defaults %+v", cfg, want)
+		}
+	})
+	t.Run("round trip", func(t *testing.T) {
+		cfg, err := ParseErrModelConfig("words=20, seed=9 ,vocab=50,zipf=1.4,subrate=0.1,burstrate=0.05,burstlen=8,burstsubrate=0.6,maxalts=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseErrModelConfig(cfg.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.String() != cfg.String() {
+			t.Fatalf("round trip changed the config: %s vs %s", back.String(), cfg.String())
+		}
+		if cfg.Words != 20 || cfg.Seed != 9 || cfg.BurstLen != 8 {
+			t.Fatalf("parsed values wrong: %+v", cfg)
+		}
+	})
+	for _, bad := range []string{
+		"words",             // no value
+		"nope=1",            // unknown key
+		"words=abc",         // unparsable int
+		"zipf=NaN",          // NaN rejected
+		"subrate=1.5",       // out of range
+		"burstsubrate=-0.1", // out of range
+		"words=0x10",        // not base-10
+		"words=-3",          // negative
+		"vocab=99999",       // over the cap
+		"maxalts=9",         // over the cap
+	} {
+		if _, err := ParseErrModelConfig(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// FuzzErrModelParse fuzzes the config wire format end to end: any spec
+// that parses must validate, survive a render/re-parse round trip, and
+// generate a deterministic transducer satisfying the model invariants.
+func FuzzErrModelParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"words=8,seed=3",
+		"vocab=50,zipf=1.3",
+		"subrate=0.5,burstrate=0.2,burstlen=4,burstsubrate=0.9",
+		"maxalts=5,seed=-7",
+		"words=abc",
+		"nope=1",
+		" words = 9 , vocab = 12 ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseErrModelConfig(s)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("parse accepted an invalid config %+v: %v", cfg, err)
+		}
+		back, err := ParseErrModelConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("rendered config %q does not re-parse: %v", cfg.String(), err)
+		}
+		if back.String() != cfg.String() {
+			t.Fatalf("round trip changed the config: %s vs %s", back.String(), cfg.String())
+		}
+		// Clamp the cost knobs (the parse already bounded them; this keeps
+		// per-exec time low), then generate twice and check the machine.
+		cfg.Words = cfg.Words%16 + 1
+		cfg.VocabSize = cfg.VocabSize%32 + 1
+		cfg.BurstLen = cfg.BurstLen%16 + 1
+		truth, fst1, err := GenerateErrModel(cfg)
+		if err != nil {
+			t.Fatalf("valid config failed to generate: %v", err)
+		}
+		truth2, fst2, err := GenerateErrModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth != truth2 || !reflect.DeepEqual(fst1, fst2) {
+			t.Fatal("generation is not deterministic for a fixed config")
+		}
+		checkErrModelInvariants(t, truth, fst1)
+	})
+}

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"sort"
+	"strings"
+	"unicode/utf8"
+
+	"github.com/paper-repo/staccato-go/internal/core"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// Defaults for SnippetOptions zero values.
+const (
+	// DefaultMaxReadings is how many matching readings a snippet reports
+	// per document.
+	DefaultMaxReadings = 3
+	// DefaultMaxEnumerate bounds how many readings (matching or not) the
+	// best-first enumeration examines per document before giving up.
+	DefaultMaxEnumerate = 4096
+)
+
+// Span is one occurrence of a query term inside a reading, in both byte
+// and rune offsets ([Start, End) and [RuneStart, RuneEnd)). Byte offsets
+// index the reading's UTF-8 bytes — the natural unit for slicing the text
+// into retrieval chunks — while rune offsets are stable under any
+// re-encoding. The JSON form is the wire shape of the staccatod snippets
+// endpoint.
+type Span struct {
+	Term      string `json:"term"`
+	Start     int    `json:"start"`
+	End       int    `json:"end"`
+	RuneStart int    `json:"rune_start"`
+	RuneEnd   int    `json:"rune_end"`
+}
+
+// SnippetReading is one retained reading that satisfies the query: its
+// full text, its probability under the document's product distribution
+// (the same mass Doc.Readings reports for it), and every occurrence of
+// the query's terms within it. A reading is the unit a RAG pipeline
+// chunks for retrieval: text plus positions plus how much probability the
+// document assigns to this being the true text.
+type SnippetReading struct {
+	Text  string  `json:"text"`
+	Prob  float64 `json:"prob"`
+	Spans []Span  `json:"spans"`
+}
+
+// DocSnippets is one matching document's snippet report: the document's
+// overall match probability (identical to the Result.Prob Search ranks
+// by) and its most probable readings that satisfy the query, best first.
+// Truncated reports that the enumeration budget ran out before
+// MaxReadings matching readings were found — the readings present are
+// still correct and still the best ones.
+type DocSnippets struct {
+	DocID     string           `json:"doc_id"`
+	Prob      float64          `json:"prob"`
+	Readings  []SnippetReading `json:"readings"`
+	Truncated bool             `json:"truncated,omitempty"`
+}
+
+// SnippetOptions shapes snippet extraction. Zero values select the
+// defaults above.
+type SnippetOptions struct {
+	// MaxReadings is how many matching readings to report per document.
+	MaxReadings int
+	// MaxEnumerate bounds how many readings the best-first enumeration
+	// may examine per document; documents dominated by non-matching
+	// readings give up (Truncated) rather than enumerate without bound.
+	MaxEnumerate int
+}
+
+func (o SnippetOptions) withDefaults() SnippetOptions {
+	if o.MaxReadings <= 0 {
+		o.MaxReadings = DefaultMaxReadings
+	}
+	if o.MaxEnumerate <= 0 {
+		o.MaxEnumerate = DefaultMaxEnumerate
+	}
+	return o
+}
+
+// Snippets extracts the document's top matching readings for the query:
+// readings are enumerated best-probability-first (staccato.Doc.BestReadings)
+// and the first MaxReadings that satisfy the query are reported, each with
+// the positions of every query term occurring in it. Prob is the DP's
+// overall match probability, exactly what Search reports for the document.
+//
+// Extraction is deterministic: the same (Doc, Query, SnippetOptions)
+// always produces the identical DocSnippets, which is what lets
+// staccatodb.DB.Snippets promise byte-identical output across execution
+// modes and worker counts.
+func (q *Query) Snippets(d *staccato.Doc, opts SnippetOptions) DocSnippets {
+	opts = opts.withDefaults()
+	out := DocSnippets{DocID: d.ID, Prob: q.Eval(d)}
+	if q.expr == nil || out.Prob <= 0 {
+		return out
+	}
+	examined := 0
+	exhausted := true
+	d.BestReadings(func(text string, prob float64) bool {
+		if examined >= opts.MaxEnumerate {
+			exhausted = false
+			return false
+		}
+		examined++
+		if ok, spans := q.MatchText(text); ok {
+			out.Readings = append(out.Readings, SnippetReading{Text: text, Prob: prob, Spans: spans})
+		}
+		return len(out.Readings) < opts.MaxReadings
+	})
+	// The DP said the document matches, so matching readings exist; if the
+	// budget stopped the enumeration before MaxReadings of them surfaced,
+	// say so instead of silently under-reporting.
+	if !exhausted && len(out.Readings) < opts.MaxReadings {
+		out.Truncated = true
+	}
+	return out
+}
+
+// MatchText evaluates the query against one concrete string — a single
+// fully-determined reading — returning whether it satisfies the boolean
+// formula and every occurrence of the query's leaf terms within it,
+// sorted by (Start, End, Term). The matched bit agrees exactly with what
+// Eval computes for a document encoding only this reading: a leaf's bit
+// is "the term occurs at least once", and the formula is evaluated over
+// the leaf bits. Occurrences are reported for every leaf, including
+// leaves under Not — a reading satisfying or(a, not(b)) via the first
+// disjunct may still contain b, and the spans say so.
+func (q *Query) MatchText(text string) (bool, []Span) {
+	if q.expr == nil {
+		return false, nil
+	}
+	bits := make([]bool, len(q.leaves))
+	var spans []Span
+	for i, lf := range q.leaves {
+		var occ []Span
+		if lf.mode == ModeKeyword {
+			occ = keywordSpans(text, lf.term)
+		} else {
+			occ = substringSpans(text, lf.term)
+		}
+		bits[i] = len(occ) > 0
+		spans = append(spans, occ...)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].End != spans[j].End {
+			return spans[i].End < spans[j].End
+		}
+		return spans[i].Term < spans[j].Term
+	})
+	return q.expr.eval(bits), spans
+}
+
+// substringSpans finds every occurrence of term in text, overlapping ones
+// included, with byte and rune offsets. Byte search is rune-exact: UTF-8
+// is self-synchronizing, so a byte-level occurrence of a valid encoding
+// is a rune-level occurrence.
+func substringSpans(text, term string) []Span {
+	if term == "" {
+		return nil
+	}
+	var out []Span
+	termRunes := utf8.RuneCountInString(term)
+	runesBefore := 0 // rune count of text[:from]
+	from := 0
+	for {
+		i := strings.Index(text[from:], term)
+		if i < 0 {
+			return out
+		}
+		start := from + i
+		runesBefore += utf8.RuneCountInString(text[from:start])
+		out = append(out, Span{
+			Term:      term,
+			Start:     start,
+			End:       start + len(term),
+			RuneStart: runesBefore,
+			RuneEnd:   runesBefore + termRunes,
+		})
+		// Advance one rune past the occurrence's start so overlapping
+		// occurrences are still found.
+		_, sz := utf8.DecodeRuneInString(text[start:])
+		from = start + sz
+		runesBefore++
+	}
+}
+
+// keywordSpans finds every occurrence of term as a whole token: a maximal
+// run of word runes equal to term. This is exactly the keyword automaton's
+// semantics — the term delimited by non-word runes or the text edges.
+func keywordSpans(text, term string) []Span {
+	var out []Span
+	tokStart, tokRuneStart := -1, 0
+	runeIdx := 0
+	flush := func(endByte, endRune int) {
+		if tokStart >= 0 && text[tokStart:endByte] == term {
+			out = append(out, Span{
+				Term:      term,
+				Start:     tokStart,
+				End:       endByte,
+				RuneStart: tokRuneStart,
+				RuneEnd:   endRune,
+			})
+		}
+		tokStart = -1
+	}
+	for i, r := range text {
+		if core.IsWordRune(r) {
+			if tokStart < 0 {
+				tokStart, tokRuneStart = i, runeIdx
+			}
+		} else {
+			flush(i, runeIdx)
+		}
+		runeIdx++
+	}
+	flush(len(text), runeIdx)
+	return out
+}

@@ -1,0 +1,219 @@
+package query_test
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"github.com/paper-repo/staccato-go/internal/core"
+	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+)
+
+// oracleReading is one entry of the brute-force snippet oracle.
+type oracleReading struct {
+	text string
+	prob float64
+}
+
+// matchOracle decides the query against one concrete string with an
+// implementation independent of pkg/query's span finder: plain
+// strings.Contains for substring leaves and a FieldsFunc token split for
+// keyword leaves, composed through a tiny recursive evaluation of the
+// rendered query. It only handles the shapes randomSnippetQueries builds.
+type matchOracle struct {
+	mode string // "substring" or "keyword"
+}
+
+func (o matchOracle) leafMatches(text, term string) bool {
+	if o.mode == "keyword" {
+		for _, tok := range strings.FieldsFunc(text, func(r rune) bool { return !core.IsWordRune(r) }) {
+			if tok == term {
+				return true
+			}
+		}
+		return false
+	}
+	return strings.Contains(text, term)
+}
+
+// snippetDocs builds a deterministic battery of small documents whose
+// full reading sets are enumerable.
+func snippetDocs(t *testing.T, n int, seed int64) []*staccato.Doc {
+	t.Helper()
+	cases, err := testgen.Docs(n, testgen.Config{Length: 20, Seed: seed}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*staccato.Doc, len(cases))
+	for i, c := range cases {
+		docs[i] = c.Doc
+	}
+	return docs
+}
+
+// TestSnippetPositionsWitnessed is the snippet witness property: every
+// reported reading is a real retained reading carrying the DP's exact
+// per-reading mass, every span's offsets point at a genuine occurrence of
+// its term, and the reported readings are precisely the top matching
+// readings of the brute-force enumeration.
+func TestSnippetPositionsWitnessed(t *testing.T) {
+	docs := snippetDocs(t, 12, 31)
+	rng := rand.New(rand.NewSource(53))
+	for qi := 0; qi < 40; qi++ {
+		src := docs[rng.Intn(len(docs))].MAP()
+		ln := 2 + rng.Intn(4)
+		if ln > len(src) {
+			ln = len(src)
+		}
+		at := rng.Intn(len(src) - ln + 1)
+		term := src[at : at+ln]
+		mode := "substring"
+		q := mustQ(query.Substring(term))
+		if rng.Intn(3) == 0 && !strings.ContainsRune(term, ' ') {
+			mode = "keyword"
+			q = mustQ(query.Keyword(term))
+		}
+		oracle := matchOracle{mode: mode}
+
+		for _, d := range docs {
+			sn := q.Snippets(d, query.SnippetOptions{MaxReadings: 5, MaxEnumerate: 1 << 20})
+			if sn.DocID != d.ID {
+				t.Fatalf("snippet doc id %q, want %q", sn.DocID, d.ID)
+			}
+			//lint:allow floateq Snippets documents Prob as exactly the DP's Eval output
+			if sn.Prob != q.Eval(d) {
+				t.Fatalf("doc %s term %q: snippet prob %v != Eval %v", d.ID, term, sn.Prob, q.Eval(d))
+			}
+			if sn.Truncated {
+				t.Fatalf("doc %s term %q: truncated despite an exhaustive budget", d.ID, term)
+			}
+
+			// Brute-force oracle: all readings in Readings order, stably
+			// sorted by descending probability, filtered by the independent
+			// matcher — the top 5 of that list must be reported verbatim.
+			var all []oracleReading
+			d.Readings(func(text string, prob float64) bool {
+				all = append(all, oracleReading{text, prob})
+				return true
+			})
+			sort.SliceStable(all, func(i, j int) bool { return all[i].prob > all[j].prob })
+			var want []oracleReading
+			for _, r := range all {
+				if oracle.leafMatches(r.text, term) {
+					want = append(want, r)
+					if len(want) == 5 {
+						break
+					}
+				}
+			}
+			if len(sn.Readings) != len(want) {
+				t.Fatalf("doc %s term %q (%s): got %d readings, oracle has %d",
+					d.ID, term, mode, len(sn.Readings), len(want))
+			}
+			for i, r := range sn.Readings {
+				//lint:allow floateq the per-reading mass is documented bit-identical with Doc.Readings (same multiplication order)
+				if r.Text != want[i].text || r.Prob != want[i].prob {
+					t.Fatalf("doc %s term %q: reading %d = (%q, %v), oracle wants (%q, %v)",
+						d.ID, term, i, r.Text, r.Prob, want[i].text, want[i].prob)
+				}
+				if len(r.Spans) == 0 {
+					t.Fatalf("doc %s term %q: matching reading %q reported no spans", d.ID, term, r.Text)
+				}
+				for _, sp := range r.Spans {
+					if sp.Term != term {
+						t.Fatalf("doc %s: span term %q, query term %q", d.ID, sp.Term, term)
+					}
+					if sp.Start < 0 || sp.End > len(r.Text) || r.Text[sp.Start:sp.End] != term {
+						t.Fatalf("doc %s term %q: span [%d,%d) does not witness the term in %q",
+							d.ID, term, sp.Start, sp.End, r.Text)
+					}
+					if got := utf8.RuneCountInString(r.Text[:sp.Start]); got != sp.RuneStart {
+						t.Fatalf("doc %s: rune start %d, want %d", d.ID, sp.RuneStart, got)
+					}
+					if got := sp.RuneStart + utf8.RuneCountInString(term); got != sp.RuneEnd {
+						t.Fatalf("doc %s: rune end %d, want %d", d.ID, sp.RuneEnd, got)
+					}
+					if mode == "keyword" {
+						if sp.Start > 0 && core.IsWordRune(rune(r.Text[sp.Start-1])) {
+							t.Fatalf("doc %s: keyword span lacks a left boundary in %q", d.ID, r.Text)
+						}
+						if sp.End < len(r.Text) && core.IsWordRune(rune(r.Text[sp.End])) {
+							t.Fatalf("doc %s: keyword span lacks a right boundary in %q", d.ID, r.Text)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatchTextAgreesWithEval checks MatchText's matched bit against the
+// DP on single-reading documents, across boolean shapes: a concrete
+// string matches iff Eval on a document encoding exactly that string
+// says probability 1.
+func TestMatchTextAgreesWithEval(t *testing.T) {
+	docs := snippetDocs(t, 8, 77)
+	var texts []string
+	for _, d := range docs {
+		texts = append(texts, d.MAP())
+	}
+	rng := rand.New(rand.NewSource(99))
+	pick := func() string {
+		src := texts[rng.Intn(len(texts))]
+		ln := 2 + rng.Intn(4)
+		i := rng.Intn(len(src) - ln + 1)
+		return src[i : i+ln]
+	}
+	for i := 0; i < 60; i++ {
+		a := mustQ(query.Substring(pick()))
+		b := mustQ(query.Substring(pick()))
+		var q *query.Query
+		switch i % 4 {
+		case 0:
+			q = a
+		case 1:
+			q = query.And(a, b)
+		case 2:
+			q = query.Or(a, query.Not(b))
+		default:
+			q = query.And(a, query.Not(b))
+		}
+		for _, text := range texts {
+			single := &staccato.Doc{ID: "one", Chunks: []staccato.PathSet{
+				{Alts: []staccato.Alt{{Text: text, Prob: 1}}, Retained: 1},
+			}}
+			matched, _ := q.MatchText(text)
+			if want := q.Eval(single) > 0.5; matched != want {
+				t.Fatalf("query %s on %q: MatchText=%v, Eval=%v", q.String(), text, matched, want)
+			}
+		}
+	}
+}
+
+// TestSnippetTruncation pins the budget contract: a budget too small to
+// reach any matching reading reports Truncated with the readings it did
+// find, and never examines more than the budget.
+func TestSnippetTruncation(t *testing.T) {
+	// Two chunks, where the only matching reading is the least probable
+	// combination: "xz" appears only as alt2+alt2.
+	d := &staccato.Doc{ID: "t", Chunks: []staccato.PathSet{
+		{Alts: []staccato.Alt{{Text: "aa", Prob: 0.6}, {Text: "ax", Prob: 0.4}}, Retained: 1},
+		{Alts: []staccato.Alt{{Text: "bb", Prob: 0.7}, {Text: "zb", Prob: 0.3}}, Retained: 1},
+	}}
+	q := mustQ(query.Substring("xz"))
+	full := q.Snippets(d, query.SnippetOptions{})
+	if len(full.Readings) != 1 || full.Truncated || full.Readings[0].Text != "axzb" {
+		t.Fatalf("full budget: %+v", full)
+	}
+	cut := q.Snippets(d, query.SnippetOptions{MaxReadings: 1, MaxEnumerate: 2})
+	if len(cut.Readings) != 0 || !cut.Truncated {
+		t.Fatalf("budget 2 must truncate before the rank-4 matching reading: %+v", cut)
+	}
+	if cut.Prob <= 0 {
+		t.Fatalf("truncated snippet still carries the DP probability, got %v", cut.Prob)
+	}
+}

@@ -135,12 +135,13 @@ func New(db *staccatodb.DB, opts Options) *Server {
 		cache: newQueryCache(opts.QueryCacheSize),
 		sem:   make(chan struct{}, opts.MaxInFlight),
 	}
-	endpoints := []string{"ingest", "search", "explain", "get_doc", "delete_doc", "stats", "health"}
+	endpoints := []string{"ingest", "search", "snippets", "explain", "get_doc", "delete_doc", "stats", "health"}
 	s.met = newMetrics(endpoints, s.cache, db.Workers(), opts.MaxInFlight)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ingest", s.endpoint("ingest", true, s.handleIngest))
 	s.mux.HandleFunc("POST /v1/search", s.endpoint("search", true, s.handleSearch))
+	s.mux.HandleFunc("POST /v1/snippets", s.endpoint("snippets", true, s.handleSnippets))
 	s.mux.HandleFunc("POST /v1/explain", s.endpoint("explain", true, s.handleExplain))
 	s.mux.HandleFunc("GET /v1/docs/{id}", s.endpoint("get_doc", true, s.handleGetDoc))
 	s.mux.HandleFunc("DELETE /v1/docs/{id}", s.endpoint("delete_doc", true, s.handleDeleteDoc))
@@ -480,6 +481,82 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, searchResponse{
 		Query:     q.String(),
 		Results:   results,
+		Stats:     stats,
+		CacheHit:  hit,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// snippetsRequest is the wire form of a snippet extraction: the same
+// query spec as search (so the two endpoints share compiled-query cache
+// entries) plus the per-document snippet knobs.
+type snippetsRequest struct {
+	queryRequest
+	// MaxReadings is how many matching readings to report per document
+	// (default query.DefaultMaxReadings).
+	MaxReadings int `json:"max_readings,omitempty"`
+	// MaxEnumerate bounds how many readings the per-document best-first
+	// enumeration may examine (default query.DefaultMaxEnumerate); the
+	// server additionally caps it so one request cannot buy unbounded CPU.
+	MaxEnumerate int `json:"max_enumerate,omitempty"`
+}
+
+// Server-side ceilings on the snippet knobs: snippet extraction is
+// per-document CPU the admission semaphore cannot see inside, so the
+// per-request dials are clamped to sane maxima rather than trusted.
+const (
+	maxSnippetReadings  = 64
+	maxSnippetEnumerate = 1 << 16
+)
+
+type snippetsResponse struct {
+	// Query is the compiled query's canonical rendering.
+	Query string `json:"query"`
+	// Snippets are the matching documents in Search's ranking order, each
+	// with its top readings containing the match: text, per-reading
+	// probability, and byte/rune spans of every query term.
+	Snippets []query.DocSnippets `json:"snippets"`
+	// Stats is the underlying search's execution report.
+	Stats     query.SearchStats `json:"stats"`
+	CacheHit  bool              `json:"cache_hit"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSnippets(w http.ResponseWriter, r *http.Request) {
+	var req snippetsRequest
+	if err := decodeBody(w, r, &req, maxQueryBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.MaxReadings < 0 || req.MaxReadings > maxSnippetReadings {
+		writeError(w, http.StatusBadRequest, "max_readings must be in [0, %d], got %d", maxSnippetReadings, req.MaxReadings)
+		return
+	}
+	if req.MaxEnumerate < 0 || req.MaxEnumerate > maxSnippetEnumerate {
+		writeError(w, http.StatusBadRequest, "max_enumerate must be in [0, %d], got %d", maxSnippetEnumerate, req.MaxEnumerate)
+		return
+	}
+	q, hit, err := s.compiledQuery(&req.queryRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	if s.testHookSearch != nil {
+		s.testHookSearch(ctx)
+	}
+	start := time.Now()
+	snippets, stats, err := s.db.Snippets(ctx, q,
+		query.SearchOptions{MinProb: req.MinProb, TopN: req.Top},
+		query.SnippetOptions{MaxReadings: req.MaxReadings, MaxEnumerate: req.MaxEnumerate})
+	if err != nil {
+		writeDBError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snippetsResponse{
+		Query:     q.String(),
+		Snippets:  snippets,
 		Stats:     stats,
 		CacheHit:  hit,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,

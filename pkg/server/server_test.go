@@ -236,6 +236,13 @@ func TestMalformedRequests(t *testing.T) {
 		{"ingest no docs", "/v1/ingest", `{"docs": []}`},
 		{"ingest empty id", "/v1/ingest", `{"docs": [{"id": ""}]}`},
 		{"explain bad body", "/v1/explain", `[1,2,3]`},
+		{"snippets truncated json", "/v1/snippets", `{"terms": ["ab"`},
+		{"snippets unknown field", "/v1/snippets", `{"terms": ["ab"], "nope": 1}`},
+		{"snippets no terms", "/v1/snippets", `{}`},
+		{"snippets bad mode", "/v1/snippets", `{"terms": ["ab"], "mode": "regex"}`},
+		{"snippets negative readings", "/v1/snippets", `{"terms": ["ab"], "max_readings": -1}`},
+		{"snippets oversized readings", "/v1/snippets", `{"terms": ["ab"], "max_readings": 65}`},
+		{"snippets oversized enumerate", "/v1/snippets", `{"terms": ["ab"], "max_enumerate": 65537}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -593,5 +600,101 @@ func TestStatsSharesDBShape(t *testing.T) {
 	}
 	if !st.DB.IndexPersisted || st.DB.Docs != 4 {
 		t.Errorf("disk-backed stats should report a persisted index over 4 docs: %+v", st.DB)
+	}
+}
+
+// TestSnippetsEndpoint exercises /v1/snippets end to end: the round
+// trip (snippets align with search's ranking, every span witnesses its
+// term), the shared compiled-query cache (a prior identical search makes
+// the snippets call a cache hit), and the stats counters (the endpoint's
+// request and error counts reconcile with the calls made).
+func TestSnippetsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	docs := testDocs(t, 20)
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: docs})
+
+	term := docs[0].MAP()[:4]
+	spec := queryRequest{Terms: []string{term}, Top: 10}
+
+	// Prime the compiled-query cache through /v1/search; the snippets
+	// endpoint shares the same cache keyed on the query-defining fields.
+	status, body := postJSON(t, client, ts.URL+"/v1/search", spec)
+	if status != http.StatusOK {
+		t.Fatalf("search: status %d, body %s", status, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatalf("search for %q returned no results; body %s", term, body)
+	}
+
+	status, body = postJSON(t, client, ts.URL+"/v1/snippets",
+		snippetsRequest{queryRequest: spec, MaxReadings: 2})
+	if status != http.StatusOK {
+		t.Fatalf("snippets: status %d, body %s", status, body)
+	}
+	var snr snippetsResponse
+	if err := json.Unmarshal(body, &snr); err != nil {
+		t.Fatal(err)
+	}
+	if !snr.CacheHit {
+		t.Error("snippets after an identical search reported a compile-cache miss")
+	}
+	if snr.Stats.Mode == "" {
+		t.Errorf("snippets stats missing execution mode: %s", body)
+	}
+	if len(snr.Snippets) != len(sr.Results) {
+		t.Fatalf("%d snippets for %d search results", len(snr.Snippets), len(sr.Results))
+	}
+	for i, sn := range snr.Snippets {
+		if sn.DocID != sr.Results[i].DocID {
+			t.Fatalf("snippet %d is doc %q, search ranked %q there", i, sn.DocID, sr.Results[i].DocID)
+		}
+		//lint:allow floateq the snippet prob is documented as exactly the Result.Prob Search ranks by
+		if sn.Prob != sr.Results[i].Prob {
+			t.Errorf("doc %s: snippet prob %v != search prob %v", sn.DocID, sn.Prob, sr.Results[i].Prob)
+		}
+		if len(sn.Readings) == 0 && !sn.Truncated {
+			t.Errorf("doc %s matched but reported no readings and no truncation", sn.DocID)
+		}
+		if len(sn.Readings) > 2 {
+			t.Errorf("doc %s: %d readings exceed max_readings=2", sn.DocID, len(sn.Readings))
+		}
+		for _, rd := range sn.Readings {
+			if len(rd.Spans) == 0 {
+				t.Errorf("doc %s: matching reading %q carries no spans", sn.DocID, rd.Text)
+			}
+			for _, sp := range rd.Spans {
+				if sp.Term != term || sp.Start < 0 || sp.End > len(rd.Text) || rd.Text[sp.Start:sp.End] != term {
+					t.Errorf("doc %s: span %+v does not witness %q in %q", sn.DocID, sp, term, rd.Text)
+				}
+			}
+		}
+	}
+
+	// One client error, booked against the endpoint's error counter.
+	status, _ = postJSON(t, client, ts.URL+"/v1/snippets",
+		snippetsRequest{queryRequest: spec, MaxReadings: -1})
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative max_readings: status %d, want 400", status)
+	}
+
+	_, body = getJSON(t, client, ts.URL+"/v1/stats")
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := st.Server.Requests["snippets"]
+	if !ok {
+		t.Fatalf("stats carry no 'snippets' endpoint counters: %s", body)
+	}
+	if ep.Count != 2 || ep.Errors != 1 {
+		t.Errorf("snippets counters = %+v, want 2 requests / 1 error", ep)
+	}
+	if st.Server.QueryCache.Hits != 1 {
+		t.Errorf("query cache hits = %d, want exactly the snippets reuse", st.Server.QueryCache.Hits)
 	}
 }

@@ -1,0 +1,114 @@
+package staccato
+
+import "container/heap"
+
+// BestReadings enumerates complete readings of the document in descending
+// probability order, calling fn with each reading's text and probability
+// until fn returns false or the readings are exhausted. Unlike Readings,
+// which walks all k^chunks readings in index order, BestReadings is lazy:
+// reaching the n-th best reading costs O(n·chunks·log n) regardless of how
+// many readings the document encodes, which is what makes top-reading
+// snippet extraction affordable on documents whose full reading set is
+// astronomically large.
+//
+// The order is fully deterministic: readings with equal probability are
+// emitted in ascending lexicographic order of their per-chunk alternative
+// index vectors (chunk 0's index most significant). Probabilities are
+// computed as the left-to-right product of the chosen alternatives'
+// probabilities — the same accumulation order Readings uses — so the two
+// enumerations report bit-identical probabilities for the same reading.
+func (d *Doc) BestReadings(fn func(text string, prob float64) bool) {
+	n := len(d.Chunks)
+	if n == 0 {
+		fn("", 1)
+		return
+	}
+	for _, c := range d.Chunks {
+		if len(c.Alts) == 0 {
+			return // no complete reading exists
+		}
+	}
+
+	// Classic lazy k-best over a product of sorted lists: each frontier
+	// entry is an index vector; popping the best pushes its n successors
+	// (one index bumped each), deduplicated so every vector enters the
+	// heap once. Per-chunk alternative lists are sorted by descending
+	// probability, so bumping an index never increases the product —
+	// every successor is no better than its parent, and the heap order
+	// is a valid enumeration order.
+	h := &readingHeap{}
+	seen := map[string]bool{}
+	push := func(idx []int) {
+		key := indexKey(idx)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		p := 1.0
+		for i, ci := range idx {
+			p *= d.Chunks[i].Alts[ci].Prob
+		}
+		heap.Push(h, readingCand{idx: idx, key: key, prob: p})
+	}
+	push(make([]int, n))
+	for h.Len() > 0 {
+		top := heap.Pop(h).(readingCand)
+		var text []byte
+		for i, ci := range top.idx {
+			text = append(text, d.Chunks[i].Alts[ci].Text...)
+		}
+		if !fn(string(text), top.prob) {
+			return
+		}
+		for i := range top.idx {
+			if top.idx[i]+1 < len(d.Chunks[i].Alts) {
+				next := append([]int(nil), top.idx...)
+				next[i]++
+				push(next)
+			}
+		}
+	}
+}
+
+// readingCand is one frontier entry of the lazy enumeration.
+type readingCand struct {
+	idx  []int
+	key  string // encoded idx, doubling as the tie-break
+	prob float64
+}
+
+// indexKey encodes an index vector compactly; because every chunk's
+// alternative count is far below 2^16, two bytes per chunk preserve the
+// vector's lexicographic order in the string comparison.
+func indexKey(idx []int) string {
+	b := make([]byte, 2*len(idx))
+	for i, v := range idx {
+		b[2*i] = byte(v >> 8)
+		b[2*i+1] = byte(v)
+	}
+	return string(b)
+}
+
+// readingHeap orders candidates by descending probability, ties broken by
+// ascending index vector — a total, deterministic order.
+type readingHeap []readingCand
+
+func (h readingHeap) Len() int { return len(h) }
+func (h readingHeap) Less(i, j int) bool {
+	if h[i].prob > h[j].prob {
+		return true
+	}
+	if h[i].prob < h[j].prob {
+		return false
+	}
+	return h[i].key < h[j].key
+}
+func (h readingHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readingHeap) Push(x any)   { *h = append(*h, x.(readingCand)) }
+func (h *readingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -426,6 +426,36 @@ func (db *DB) Search(ctx context.Context, q *query.Query, opts query.SearchOptio
 	return res, stats, nil
 }
 
+// Snippets runs Search and then extracts each matching document's top
+// readings containing the match (query.Query.Snippets): per document, the
+// most probable retained readings that satisfy the query, each with its
+// probability and the byte/rune positions of every query term — the
+// retrieval-chunk input a RAG pipeline consumes. The slice is ordered
+// exactly like Search's ranking, and because extraction is a
+// deterministic function of each matching document, the output is
+// byte-identical across execution modes (scan, pruned-scan,
+// candidate-only) and worker counts, just like Search itself. A document
+// deleted between the search and the snippet fetch is skipped, matching
+// what a search started after the delete would report.
+func (db *DB) Snippets(ctx context.Context, q *query.Query, opts query.SearchOptions, sopts query.SnippetOptions) ([]query.DocSnippets, query.SearchStats, error) {
+	results, stats, err := db.Search(ctx, q, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]query.DocSnippets, 0, len(results))
+	for _, r := range results {
+		doc, err := db.st.Get(ctx, r.DocID)
+		if errors.Is(err, store.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+		out = append(out, q.Snippets(doc, sopts))
+	}
+	return out, stats, nil
+}
+
 // Workers returns the query engine's worker pool size — the evaluation
 // parallelism ceiling, which services in front of the DB (staccatod)
 // report alongside their own in-flight gauges to make engine saturation

@@ -42,12 +42,14 @@ func TestSearchModesByteIdenticalProperty(t *testing.T) {
 	}
 	queries := randomQueries(truths, 77, 25)
 
+	snips := query.SnippetOptions{MaxReadings: 2, MaxEnumerate: 512}
 	runPhase := func(phase string) {
 		t.Helper()
 		candidateRuns := 0
 		// baseline: worker-count 1's candidate-only output; every other
 		// worker count and mode must reproduce it byte-for-byte.
 		var baseline [][]query.Result
+		var baselineSnips [][]query.DocSnippets
 		for _, workers := range []int{1, 2, 8} {
 			db, err := staccatodb.Open(dir, staccatodb.WithWorkers(workers))
 			if err != nil {
@@ -96,11 +98,35 @@ func TestSearchModesByteIdenticalProperty(t *testing.T) {
 						phase, workers, q.String(), res, kept)
 				}
 
+				// Snippets ride on Search, so they inherit its mode and
+				// worker-count determinism — checked byte-for-byte like the
+				// ranked results themselves.
+				sn, _, err := db.Snippets(ctx, q, query.SearchOptions{}, snips)
+				if err != nil {
+					t.Fatalf("%s workers=%d query %d Snippets: %v", phase, workers, qi, err)
+				}
+				if len(sn) != len(res) {
+					t.Fatalf("%s workers=%d query %d: %d snippets for %d results", phase, workers, qi, len(sn), len(res))
+				}
+				for i := range sn {
+					if sn[i].DocID != res[i].DocID {
+						t.Fatalf("%s workers=%d query %d: snippet %d is doc %q, result is %q",
+							phase, workers, qi, i, sn[i].DocID, res[i].DocID)
+					}
+				}
+
 				if workers == 1 {
 					baseline = append(baseline, res)
-				} else if !reflect.DeepEqual(res, baseline[qi]) {
-					t.Fatalf("%s query %s: workers=%d output differs from workers=1\n got:  %+v\n want: %+v",
-						phase, q.String(), workers, res, baseline[qi])
+					baselineSnips = append(baselineSnips, sn)
+				} else {
+					if !reflect.DeepEqual(res, baseline[qi]) {
+						t.Fatalf("%s query %s: workers=%d output differs from workers=1\n got:  %+v\n want: %+v",
+							phase, q.String(), workers, res, baseline[qi])
+					}
+					if !reflect.DeepEqual(sn, baselineSnips[qi]) {
+						t.Fatalf("%s query %s: workers=%d snippets differ from workers=1\n got:  %+v\n want: %+v",
+							phase, q.String(), workers, sn, baselineSnips[qi])
+					}
 				}
 			}
 			db.Close()
@@ -111,13 +137,21 @@ func TestSearchModesByteIdenticalProperty(t *testing.T) {
 				t.Fatalf("%s workers=%d: %v", phase, workers, err)
 			}
 			scanned := searchAll(t, noIdx, queries)
-			noIdx.Close()
 			for qi := range queries {
 				if !reflect.DeepEqual(scanned[qi], baseline[qi]) {
 					t.Fatalf("%s workers=%d query %s: full scan differs from candidate-only\n scan: %+v\n cand: %+v",
 						phase, workers, queries[qi].String(), scanned[qi], baseline[qi])
 				}
+				sn, _, err := noIdx.Snippets(ctx, queries[qi], query.SearchOptions{}, snips)
+				if err != nil {
+					t.Fatalf("%s workers=%d query %d scan Snippets: %v", phase, workers, qi, err)
+				}
+				if !reflect.DeepEqual(sn, baselineSnips[qi]) {
+					t.Fatalf("%s workers=%d query %s: full-scan snippets differ from candidate-only\n scan: %+v\n cand: %+v",
+						phase, workers, queries[qi].String(), sn, baselineSnips[qi])
+				}
 			}
+			noIdx.Close()
 		}
 		if candidateRuns == 0 {
 			t.Fatalf("%s: no query ran candidate-only; the property test is vacuous", phase)

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# bench_recall.sh — run the end-to-end retrieval-quality benchmark and
+# emit BENCH_recall.json: recall of the MAP baseline, the Staccato
+# approximation at several (chunks, k) dials, and the exact FullSFST
+# oracle, over an error-model OCR corpus with a fixed keyword workload.
+# The binary's -gate flag enforces the paper's headline ordering
+# MAP < Staccato(default dial) <= Full and fails the run otherwise.
+#
+# Usage: scripts/bench_recall.sh [recall.json]
+#   DOCS=2000 QUERIES=24 scripts/bench_recall.sh   # override scale
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_recall.json}"
+docs="${DOCS:-1000}"
+queries="${QUERIES:-16}"
+seed="${SEED:-1}"
+
+go run ./cmd/staccatorecall \
+	-docs "$docs" -queries "$queries" -seed "$seed" \
+	-dials "4,2;6,3;8,4" -default "6,3" \
+	-out "$out_file" -gate
+
+echo "wrote $out_file:"
+cat "$out_file"
