@@ -26,15 +26,20 @@
 //
 // search runs one compiled boolean query against a corpus through the
 // pruning planner and the worker-pool engine, printing the ranked
-// matches; -snippets N additionally prints each match's top N readings
-// that contain the query terms, with per-reading probabilities and term
-// positions; -v also prints the pruning plan and how many documents the
-// index let the engine skip. The corpus is either synthetic and
-// in-memory (-docs) or a directory previously written by ingest
-// (-store); exactly one must be given:
+// matches; -fuzzy D matches terms up to edit distance D (1 or 2) via
+// Levenshtein-automaton leaves; -lexicon re-weights each document's
+// readings toward dictionary words before ranking; -snippets N
+// additionally prints each match's top N readings that contain the
+// query terms, with per-reading probabilities and term positions
+// (-context R adds R runes of surrounding text per match); -v also
+// prints the pruning plan and how many documents the index let the
+// engine skip. The corpus is either synthetic and in-memory (-docs) or
+// a directory previously written by ingest (-store); exactly one must
+// be given:
 //
 //	staccato search {-docs N | -store DIR} [-workers N] [-top N]
-//	                [-minprob P] [-mode substring|keyword] [-snippets N]
+//	                [-minprob P] [-mode substring|keyword] [-fuzzy D]
+//	                [-lexicon FILE|vocab:N] [-snippets N] [-context R]
 //	                [-combine and|or] [-not TERM] [-noindex] [-v] TERM...
 //
 // index brings the inverted index of an existing database directory up

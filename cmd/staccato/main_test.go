@@ -466,3 +466,152 @@ func TestSearchSnippetsFlag(t *testing.T) {
 		t.Fatal("no readings reported for any matching document")
 	}
 }
+
+// TestSearchFuzzyFlag corrupts one rune of a planted document's MAP
+// substring and checks -fuzzy 1 still finds the document where the
+// exact substring search cannot.
+func TestSearchFuzzyFlag(t *testing.T) {
+	cfg := searchConfig{
+		docs: 25, length: 40, seed: 5, chunks: 5, k: 3,
+		workers: 2, top: 0, mode: "substring", combine: "and",
+	}
+	cases, err := testgen.Docs(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := []rune(cases[7].Doc.MAP()[10:17])
+	term[3] = '0' // a digit never appears in the synthetic alphabet
+	cfg.terms = []string{string(term)}
+
+	exact, err := runSearch(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range exact.results {
+		if r.DocID == "doc-0008" {
+			t.Fatalf("exact search already finds the corrupted term %q; corruption did not take", string(term))
+		}
+	}
+
+	cfg.fuzzy = 1
+	rep, err := runSearch(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("fuzzy(%q, 1)", string(term))
+	if rep.query != want {
+		t.Errorf("query = %s, want %s", rep.query, want)
+	}
+	found := false
+	for _, r := range rep.results {
+		found = found || r.DocID == "doc-0008"
+	}
+	if !found {
+		t.Errorf("fuzzy search for %q missed planted doc-0008: %+v", string(term), rep.results)
+	}
+}
+
+func TestSearchFuzzyFlagValidation(t *testing.T) {
+	base := searchConfig{docs: 1, mode: "substring", combine: "and", terms: []string{"abc"}}
+	neg := base
+	neg.fuzzy = -1
+	if _, err := runSearch(&strings.Builder{}, neg); err == nil {
+		t.Error("search accepted a negative -fuzzy distance")
+	}
+	big := base
+	big.fuzzy = 3
+	if _, err := runSearch(&strings.Builder{}, big); err == nil {
+		t.Error("search accepted -fuzzy 3 beyond the supported maximum")
+	}
+	kw := base
+	kw.fuzzy = 1
+	kw.mode = "keyword"
+	if _, err := runSearch(&strings.Builder{}, kw); err == nil {
+		t.Error("search accepted -fuzzy together with -mode keyword")
+	}
+}
+
+// TestSearchLexiconFlag checks -lexicon vocab:N re-weights probabilities
+// without changing which documents match, and that broken lexicon specs
+// are rejected.
+func TestSearchLexiconFlag(t *testing.T) {
+	cfg := searchConfig{
+		docs: 40, length: 30, seed: 9, chunks: 4, k: 3,
+		workers: 2, top: 0, mode: "substring", combine: "or",
+		terms: []string{"e", "a"},
+	}
+	plain, err := runSearch(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.results) == 0 {
+		t.Fatal("search matched nothing; broaden the test terms")
+	}
+	cfg.lexicon = "vocab:300"
+	scored, err := runSearch(&strings.Builder{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := func(rep searchReport) []string {
+		out := make([]string, len(rep.results))
+		for i, r := range rep.results {
+			out[i] = r.DocID
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(ids(plain), ids(scored)) {
+		t.Errorf("lexicon rescoring changed the matched set\n plain: %v\n lex:   %v", ids(plain), ids(scored))
+	}
+
+	for _, bad := range []string{"vocab:", "vocab:0", "vocab:x", filepath.Join(t.TempDir(), "missing.txt")} {
+		cfg.lexicon = bad
+		if _, err := runSearch(&strings.Builder{}, cfg); err == nil {
+			t.Errorf("search accepted broken -lexicon %q", bad)
+		}
+	}
+}
+
+// TestSearchContextFlag checks -context attaches surrounding text to
+// every printed span and that the context window contains the match.
+func TestSearchContextFlag(t *testing.T) {
+	cfg := searchConfig{
+		docs: 15, length: 40, seed: 5, chunks: 5, k: 3,
+		workers: 2, top: 5, mode: "substring", combine: "and",
+		snippets: 2, context: 6,
+	}
+	cases, err := testgen.Docs(cfg.docs, testgen.Config{Length: cfg.length, Seed: cfg.seed}, cfg.chunks, cfg.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := cases[3].Doc.MAP()[10:14]
+	cfg.terms = []string{term}
+
+	var out strings.Builder
+	rep, err := runSearch(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, sn := range rep.snips {
+		for _, rd := range sn.Readings {
+			for _, sp := range rd.Spans {
+				saw = true
+				if sp.Context == "" {
+					t.Errorf("doc %s: span %s@%d-%d has no context", sn.DocID, sp.Term, sp.Start, sp.End)
+					continue
+				}
+				if !strings.Contains(sp.Context, rd.Text[sp.Start:sp.End]) {
+					t.Errorf("doc %s: context %q does not contain the match %q",
+						sn.DocID, sp.Context, rd.Text[sp.Start:sp.End])
+				}
+				if !strings.Contains(rd.Text, sp.Context) {
+					t.Errorf("doc %s: context %q is not a window of reading %q", sn.DocID, sp.Context, rd.Text)
+				}
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("no spans reported for any matching document")
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/fuzzy"
 	"github.com/paper-repo/staccato-go/pkg/query"
 	"github.com/paper-repo/staccato-go/pkg/staccatodb"
 )
@@ -31,11 +33,14 @@ type searchConfig struct {
 	top      int
 	minProb  float64
 	mode     string
+	fuzzy    int
+	lexicon  string
 	combine  string
 	not      string
 	noIndex  bool
 	verbose  bool
 	snippets int
+	context  int
 	terms    []string
 }
 
@@ -64,10 +69,13 @@ func searchMain(w io.Writer, args []string) error {
 	fs.IntVar(&cfg.top, "top", 10, "keep only the N best-ranked documents (0 = all)")
 	fs.Float64Var(&cfg.minProb, "minprob", 0, "drop documents below this probability")
 	fs.StringVar(&cfg.mode, "mode", "substring", "term mode: substring or keyword")
+	fs.IntVar(&cfg.fuzzy, "fuzzy", 0, "match terms within this edit distance (1 or 2; 0 = exact)")
+	fs.StringVar(&cfg.lexicon, "lexicon", "", "re-weight readings toward dictionary words: a wordlist file, or vocab:N for the built-in synthetic vocabulary")
 	fs.StringVar(&cfg.combine, "combine", "and", "combine multiple terms with: and or or")
 	fs.StringVar(&cfg.not, "not", "", "additionally require this term to be absent")
 	fs.BoolVar(&cfg.noIndex, "noindex", false, "skip the inverted index and scan every document")
 	fs.IntVar(&cfg.snippets, "snippets", 0, "print up to N top matching readings per result, with term positions")
+	fs.IntVar(&cfg.context, "context", 0, "with -snippets, include N runes of surrounding text around each match")
 	fs.BoolVar(&cfg.verbose, "v", false, "print the pruning plan and per-run planner stats")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -104,14 +112,23 @@ func searchMain(w io.Writer, args []string) error {
 
 // buildQuery compiles the CLI's term list into one boolean Query.
 func buildQuery(cfg searchConfig) (*query.Query, error) {
+	if cfg.fuzzy < 0 {
+		return nil, fmt.Errorf("search: -fuzzy %d: edit distance cannot be negative", cfg.fuzzy)
+	}
+	if cfg.fuzzy > 0 && cfg.mode != "substring" {
+		return nil, fmt.Errorf("search: -fuzzy replaces the term mode; drop -mode %s", cfg.mode)
+	}
 	leafFor := func(term string) (*query.Query, error) {
+		if cfg.fuzzy > 0 {
+			return query.Fuzzy(term, cfg.fuzzy)
+		}
 		switch cfg.mode {
 		case "substring":
 			return query.Substring(term)
 		case "keyword":
 			return query.Keyword(term)
 		default:
-			return nil, fmt.Errorf("search: unknown -mode %q (want substring or keyword)", cfg.mode)
+			return nil, fmt.Errorf("search: unknown -mode %q (want substring or keyword, or use -fuzzy)", cfg.mode)
 		}
 	}
 	if len(cfg.terms) == 0 {
@@ -142,6 +159,30 @@ func buildQuery(cfg searchConfig) (*query.Query, error) {
 		q = query.And(q, query.Not(neg))
 	}
 	return q, nil
+}
+
+// loadLexicon resolves the -lexicon flag into a rescoring dictionary:
+// either a newline-separated wordlist file, or "vocab:N" for the first N
+// words of the built-in synthetic error-model vocabulary — the exact
+// dictionary a -docs corpus was generated from.
+func loadLexicon(spec string) (*fuzzy.Lexicon, error) {
+	if n, ok := strings.CutPrefix(spec, "vocab:"); ok {
+		size, err := strconv.Atoi(n)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("search: -lexicon vocab:N needs a positive word count, got %q", n)
+		}
+		return fuzzy.NewLexicon(testgen.Vocab(size)), nil
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, fmt.Errorf("search: -lexicon: %w", err)
+	}
+	defer f.Close()
+	lex, err := fuzzy.ReadLexicon(f)
+	if err != nil {
+		return nil, fmt.Errorf("search: -lexicon %s: %w", spec, err)
+	}
+	return lex, nil
 }
 
 // openCorpus resolves cfg's corpus source into a staccatodb.DB: a
@@ -225,13 +266,24 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 
 	searchStart := time.Now()
 	sopts := query.SearchOptions{MinProb: cfg.minProb, TopN: cfg.top}
+	if cfg.lexicon != "" {
+		lex, err := loadLexicon(cfg.lexicon)
+		if err != nil {
+			return rep, err
+		}
+		sopts.Rescore = lex.Rescorer(fuzzy.DefaultBoost)
+		if cfg.verbose {
+			fmt.Fprintf(w, "lexicon: %d words, boost=%g\n", lex.Len(), fuzzy.DefaultBoost)
+		}
+	}
 	var results []query.Result
 	var stats query.SearchStats
 	if cfg.snippets > 0 {
 		// Snippets ride on the same Search; each DocSnippets carries the
 		// Result's DocID and probability, so the ranked list is recovered
 		// without a second pass.
-		rep.snips, stats, err = db.Snippets(ctx, q, sopts, query.SnippetOptions{MaxReadings: cfg.snippets})
+		rep.snips, stats, err = db.Snippets(ctx, q, sopts,
+			query.SnippetOptions{MaxReadings: cfg.snippets, ContextRunes: cfg.context})
 		if err != nil {
 			return rep, err
 		}
@@ -283,6 +335,9 @@ func printSnippets(w io.Writer, sn query.DocSnippets) {
 		fmt.Fprintf(w, "      p=%-8.4f %q", rd.Prob, rd.Text)
 		for _, sp := range rd.Spans {
 			fmt.Fprintf(w, "  %s@%d-%d", sp.Term, sp.Start, sp.End)
+			if sp.Context != "" {
+				fmt.Fprintf(w, " (…%s…)", sp.Context)
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -8,13 +8,14 @@
 //
 //	staccatod -store DIR [-addr :8417] [-create] [-workers N]
 //	          [-maxinflight N] [-timeout D] [-drain D] [-cachesize N]
-//	          [-nosync] [-noindex]
+//	          [-nosync] [-noindex] [-lexicon FILE]
 //
 // Endpoints (all JSON; see pkg/server for the request shapes):
 //
 //	POST   /v1/ingest     batched document writes
 //	POST   /v1/search     ranked probabilistic search (terms, mode,
-//	                      combine, not, min_prob, top, timeout_ms)
+//	                      distance, lexicon, combine, not, min_prob,
+//	                      top, timeout_ms)
 //	POST   /v1/explain    plan + executed SearchStats for a query
 //	GET    /v1/docs/{id}  point read
 //	DELETE /v1/docs/{id}  delete
@@ -43,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/paper-repo/staccato-go/pkg/fuzzy"
 	"github.com/paper-repo/staccato-go/pkg/server"
 	"github.com/paper-repo/staccato-go/pkg/staccatodb"
 )
@@ -60,6 +62,7 @@ type serveConfig struct {
 	cacheSize    int
 	noSync       bool
 	noIndex      bool
+	lexicon      string
 
 	// ready, when non-nil, receives the bound listen address once the
 	// server is accepting connections — the test seam for -addr :0.
@@ -100,6 +103,7 @@ func serveMain(ctx context.Context, w io.Writer, args []string) error {
 	fs.IntVar(&cfg.cacheSize, "cachesize", server.DefaultQueryCacheSize, "compiled-query LRU cache capacity")
 	fs.BoolVar(&cfg.noSync, "nosync", false, "skip fsync on commit (faster writes; an OS crash may lose recent batches)")
 	fs.BoolVar(&cfg.noIndex, "noindex", false, "serve without the inverted index (every query scans)")
+	fs.StringVar(&cfg.lexicon, "lexicon", "", "wordlist file enabling lexicon rescoring for requests with \"lexicon\": true")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -146,6 +150,18 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig) error {
 	if cfg.drainTimeout <= 0 {
 		cfg.drainTimeout = 30 * time.Second
 	}
+	var lex *fuzzy.Lexicon
+	if cfg.lexicon != "" {
+		f, err := os.Open(cfg.lexicon)
+		if err != nil {
+			return fmt.Errorf("-lexicon: %w", err)
+		}
+		lex, err = fuzzy.ReadLexicon(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-lexicon %s: %w", cfg.lexicon, err)
+		}
+	}
 	db, err := openServeDB(cfg)
 	if err != nil {
 		return err
@@ -156,6 +172,7 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig) error {
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
 		QueryCacheSize: cfg.cacheSize,
+		Lexicon:        lex,
 	})
 	shutdown := func() error {
 		sctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
@@ -178,6 +195,10 @@ func runServe(ctx context.Context, w io.Writer, cfg serveConfig) error {
 		cfg.store, st.Docs, st.IndexEnabled, st.IndexPersisted, ln.Addr())
 	fmt.Fprintf(w, "staccatod: max in-flight %d, request timeout %v, query cache %d entries\n",
 		resolved.MaxInFlight, resolved.RequestTimeout, resolved.QueryCacheSize)
+	if lex != nil {
+		fmt.Fprintf(w, "staccatod: lexicon rescoring available (%d words, boost %g)\n",
+			lex.Len(), resolved.LexiconBoost)
+	}
 	if cfg.ready != nil {
 		cfg.ready(ln.Addr().String())
 	}

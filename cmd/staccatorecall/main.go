@@ -140,17 +140,19 @@ func runBench(w io.Writer, cfg config) (*recallbench.Report, error) {
 
 	fmt.Fprintf(w, "corpus: %d docs, model %s\n", rep.Docs, rep.Model)
 	fmt.Fprintf(w, "workload: %d keyword queries\n", len(rep.Queries))
-	fmt.Fprintf(w, "%-14s  %-8s  %-8s\n", "setting", "recall", "avgprec")
-	fmt.Fprintf(w, "%-14s  %-8.4f  %-8s\n", "MAP", rep.MAPRecall, "-")
+	fmt.Fprintf(w, "%-14s  %-8s  %-8s  %-8s  %-8s\n",
+		"setting", "recall", "avgprec", fmt.Sprintf("p@%d", recallbench.PrecisionK), "mrr")
+	fmt.Fprintf(w, "%-14s  %-8.4f  %-8s  %-8s  %-8s\n", "MAP", rep.MAPRecall, "-", "-", "-")
 	for _, d := range rep.Dials {
 		marker := ""
 		if (recallbench.Dial{Chunks: d.Chunks, K: d.K}) == rep.DefaultDial {
 			marker = " *"
 		}
-		fmt.Fprintf(w, "%-14s  %-8.4f  %-8.4f\n",
-			fmt.Sprintf("Staccato(%d,%d)%s", d.Chunks, d.K, marker), d.Recall, d.AvgPrecision)
+		fmt.Fprintf(w, "%-14s  %-8.4f  %-8.4f  %-8.4f  %-8.4f\n",
+			fmt.Sprintf("Staccato(%d,%d)%s", d.Chunks, d.K, marker),
+			d.Recall, d.AvgPrecision, d.PrecisionAtK, d.MRR)
 	}
-	fmt.Fprintf(w, "%-14s  %-8.4f  %-8s\n", "FullSFST", rep.FullRecall, "-")
+	fmt.Fprintf(w, "%-14s  %-8.4f  %-8s  %-8s  %-8s\n", "FullSFST", rep.FullRecall, "-", "-", "-")
 	fmt.Fprintf(w, "gates: map_beaten=%v full_bound=%v (%v elapsed)\n",
 		rep.GateMAPBeaten, rep.GateFullBound, time.Since(start).Round(time.Millisecond))
 

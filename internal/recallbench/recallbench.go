@@ -87,9 +87,19 @@ type DialResult struct {
 	// AvgPrecision is the macro-averaged average precision of the ranked
 	// result lists — sensitive to ordering, unlike Recall.
 	AvgPrecision float64 `json:"avg_precision"`
+	// PrecisionAtK is the macro-averaged fraction of the top PrecisionK
+	// ranked results that are relevant.
+	PrecisionAtK float64 `json:"precision_at_k"`
+	// MRR is the macro-averaged reciprocal rank of the first relevant
+	// result (0 for a query whose ranked list has none).
+	MRR float64 `json:"mrr"`
 	// Retrieved is the mean retrieved-set size per query.
 	Retrieved float64 `json:"retrieved"`
 }
+
+// PrecisionK is the ranked-list cutoff the sweep's PrecisionAtK metric
+// reads.
+const PrecisionK = 10
 
 // Report is the benchmark's JSON artifact (BENCH_recall.json).
 type Report struct {
@@ -305,6 +315,58 @@ func (r *run) avgPrecision(ranked [][]string) float64 {
 	return sum / float64(n)
 }
 
+// precisionAtK macro-averages the fraction of each ranked list's top k
+// entries that are relevant, over queries with a non-empty relevant set.
+// A list shorter than k is charged for the missing slots — retrieving
+// too little costs precision@k just as retrieving junk does.
+func (r *run) precisionAtK(ranked [][]string, k int) float64 {
+	var sum float64
+	n := 0
+	for qi, rel := range r.relevant {
+		if len(rel) == 0 {
+			continue
+		}
+		hits := 0
+		for rank, id := range ranked[qi] {
+			if rank >= k {
+				break
+			}
+			if rel[id] {
+				hits++
+			}
+		}
+		sum += float64(hits) / float64(k)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// mrr macro-averages the reciprocal rank of the first relevant result,
+// over queries with a non-empty relevant set.
+func (r *run) mrr(ranked [][]string) float64 {
+	var sum float64
+	n := 0
+	for qi, rel := range r.relevant {
+		if len(rel) == 0 {
+			continue
+		}
+		for rank, id := range ranked[qi] {
+			if rel[id] {
+				sum += 1 / float64(rank+1)
+				break
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // Run executes the benchmark and assembles the report.
 func Run(ctx context.Context, opts Options) (*Report, error) {
 	r, err := newRun(opts)
@@ -334,6 +396,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			K:            d.K,
 			Recall:       r.recallOf(sets),
 			AvgPrecision: r.avgPrecision(ranked),
+			PrecisionAtK: r.precisionAtK(ranked, PrecisionK),
+			MRR:          r.mrr(ranked),
 			Retrieved:    retrieved / float64(len(sets)),
 		}
 		rep.Dials = append(rep.Dials, dr)

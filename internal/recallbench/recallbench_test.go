@@ -107,6 +107,17 @@ func TestRunReportShape(t *testing.T) {
 		if d.Recall < 0 || d.Recall > 1 || d.AvgPrecision < 0 || d.AvgPrecision > 1 {
 			t.Errorf("dial (%d,%d) metrics out of range: %+v", d.Chunks, d.K, d)
 		}
+		if d.PrecisionAtK < 0 || d.PrecisionAtK > 1 || d.MRR < 0 || d.MRR > 1 {
+			t.Errorf("dial (%d,%d) ranking metrics out of range: %+v", d.Chunks, d.K, d)
+		}
+		// Retrieval is probability-ranked and every retrieved set here is
+		// non-empty on the reference corpus, so a zero MRR would mean the
+		// ranked lists never surface a single relevant document — a wiring
+		// bug, not a quality finding.
+		//lint:allow floateq MRR is a finite sum of exact reciprocals; 0 means no relevant hit at all
+		if d.MRR == 0 {
+			t.Errorf("dial (%d,%d) has MRR 0 on the reference corpus: %+v", d.Chunks, d.K, d)
+		}
 	}
 	if !found {
 		t.Fatalf("default dial %v missing from sweep %+v", rep.DefaultDial, rep.Dials)

@@ -217,6 +217,13 @@ var errMerges = map[string]rune{
 // corpus, and every corpus at the same VocabSize, shares tokens.
 const errVocabSeed = 0x57acca70
 
+// Vocab returns the shared error-model vocabulary of the given size —
+// the exact word list GenerateErrModel draws tokens from at the same
+// VocabSize. Exposed so consumers (the CLI's built-in fuzzy-rescoring
+// lexicon, benchmarks) can hold the dictionary the synthetic corpus was
+// written in.
+func Vocab(size int) []string { return errVocab(size) }
+
 // errVocab builds the shared vocabulary: size distinct lowercase words of
 // length 4..8, rank order fixed by generation order (rank 0 is the most
 // frequent under the Zipf draw).

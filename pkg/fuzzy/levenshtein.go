@@ -1,0 +1,277 @@
+// Package fuzzy is the edit-distance query subsystem: a Levenshtein
+// automaton compiled once per (term, distance) into a deterministic
+// finite automaton, plus a lexicon rescoring pass that re-weights a
+// document's retained readings toward in-dictionary variants.
+//
+// The DFA answers substring-approximate matching — "does the input
+// contain a window within edit distance d of term?" — which is the
+// Sellers variant of the classic Levenshtein automaton: the dynamic
+// programming column starts every row at cost 0, so a match may begin
+// anywhere in the input. States are clamped DP columns (every cell
+// capped at d+1, beyond which the exact value cannot matter), discovered
+// by breadth-first search over the characteristic bitvectors of the
+// term's distinct runes. Construction is fully deterministic — sorted
+// rune alphabet, BFS in fixed order — because downstream the state IDs
+// feed pkg/query's product DP, where state numbering pins float
+// accumulation order and therefore bit-identical probabilities.
+//
+// The package is self-contained on purpose: pkg/query wraps a DFA into
+// its automaton interface, but nothing here depends on query planning or
+// evaluation, so the automaton's correctness is testable (and fuzzable)
+// against the reference Within oracle alone.
+package fuzzy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxDistance is the largest supported edit distance. Beyond 2 the
+// automaton's state space and the planner's gram pieces both degrade
+// sharply, and OCR noise this subsystem targets rarely needs more.
+const MaxDistance = 2
+
+// maxTermRunes bounds compiled terms so a characteristic bitvector fits
+// one uint64.
+const maxTermRunes = 64
+
+// maxStates caps DFA construction. The joint-state encoding in
+// pkg/query packs a state ID plus a sentinel into a uint16, and the
+// clamped-column construction for m ≤ 64, d ≤ 2 stays far below this;
+// hitting the cap means a bug, not a big term, so it is an error.
+const maxStates = 1 << 14
+
+// DFA is a compiled Levenshtein automaton for one (term, distance)
+// pair. It is immutable after Compile and safe for concurrent use.
+type DFA struct {
+	term []rune
+	dist int
+
+	alphabet []rune   // sorted distinct runes of term
+	masks    []uint64 // masks[i]: bit j set iff term[j] == alphabet[i]
+
+	// trans[s*(len(alphabet)+1) + c] is the state reached from s on a
+	// rune of characteristic class c; class 0 is "rune not in term",
+	// class i+1 is alphabet[i].
+	trans  []uint16
+	accept []bool // accept[s]: the window ending here is within dist
+}
+
+// Compile builds the DFA for term at the given edit distance. The term
+// must be non-empty, at most 64 runes, longer (in runes) than dist —
+// otherwise the empty window already matches and the automaton would
+// accept every input — and dist must be in [0, MaxDistance].
+func Compile(term string, dist int) (*DFA, error) {
+	pat := []rune(term)
+	if len(pat) == 0 {
+		return nil, fmt.Errorf("fuzzy: empty term")
+	}
+	if len(pat) > maxTermRunes {
+		return nil, fmt.Errorf("fuzzy: term of %d runes exceeds the %d-rune limit", len(pat), maxTermRunes)
+	}
+	if dist < 0 || dist > MaxDistance {
+		return nil, fmt.Errorf("fuzzy: distance %d out of range [0, %d]", dist, MaxDistance)
+	}
+	if len(pat) <= dist {
+		return nil, fmt.Errorf("fuzzy: term %q of %d runes must be longer than distance %d (every string would match)", term, len(pat), dist)
+	}
+	d := &DFA{term: pat, dist: dist}
+	d.buildAlphabet()
+	if err := d.buildStates(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustCompile is Compile for known-good inputs; it panics on error.
+func MustCompile(term string, dist int) *DFA {
+	d, err := Compile(term, dist)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Term returns the compiled pattern.
+func (d *DFA) Term() string { return string(d.term) }
+
+// Distance returns the compiled edit distance.
+func (d *DFA) Distance() int { return d.dist }
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.accept) }
+
+// Start returns the start state (always 0). The start state is never
+// accepting: Compile requires the term to be longer than the distance,
+// so the empty window cannot match.
+func (d *DFA) Start() int { return 0 }
+
+// Step consumes one rune from state q and reports the next state and
+// whether a window within the edit distance just completed. Matching is
+// a property of the destination state, so callers treating matches as
+// absorbing (pkg/query does) may stop on the first hit without losing
+// any match.
+func (d *DFA) Step(q int, r rune) (int, bool) {
+	next := int(d.trans[q*(len(d.alphabet)+1)+d.class(r)])
+	return next, d.accept[next]
+}
+
+// class maps a rune to its characteristic class: 0 for runes absent from
+// the term, i+1 for alphabet[i].
+func (d *DFA) class(r rune) int {
+	lo, hi := 0, len(d.alphabet)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.alphabet[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.alphabet) && d.alphabet[lo] == r {
+		return lo + 1
+	}
+	return 0
+}
+
+func (d *DFA) buildAlphabet() {
+	seen := make(map[rune]bool, len(d.term))
+	for _, r := range d.term {
+		if !seen[r] {
+			seen[r] = true
+			d.alphabet = append(d.alphabet, r)
+		}
+	}
+	sort.Slice(d.alphabet, func(i, j int) bool { return d.alphabet[i] < d.alphabet[j] })
+	d.masks = make([]uint64, len(d.alphabet))
+	for i, a := range d.alphabet {
+		for j, r := range d.term {
+			if r == a {
+				d.masks[i] |= 1 << uint(j)
+			}
+		}
+	}
+}
+
+// buildStates discovers the reachable clamped DP columns breadth-first.
+// A column holds, for j in 1..m, the minimum edits needed to turn
+// term[:j] into a suffix of the input consumed so far, capped at dist+1
+// (cell 0 is always 0 in the Sellers substring formulation and is not
+// stored). BFS over a fixed class order with first-seen state numbering
+// makes the construction — and therefore every state ID — deterministic.
+func (d *DFA) buildStates() error {
+	m := len(d.term)
+	cap1 := uint8(d.dist + 1)
+
+	startCol := make([]uint8, m)
+	for j := 0; j < m; j++ {
+		c := j + 1
+		if c > int(cap1) {
+			c = int(cap1)
+		}
+		startCol[j] = uint8(c)
+	}
+
+	ids := map[string]uint16{string(startCol): 0}
+	cols := [][]uint8{startCol}
+	d.accept = []bool{startCol[m-1] <= uint8(d.dist)}
+	nClasses := len(d.alphabet) + 1
+	d.trans = nil
+
+	for s := 0; s < len(cols); s++ {
+		col := cols[s]
+		for c := 0; c < nClasses; c++ {
+			var mask uint64
+			if c > 0 {
+				mask = d.masks[c-1]
+			}
+			next := stepColumn(col, mask, cap1)
+			key := string(next)
+			id, ok := ids[key]
+			if !ok {
+				if len(cols) >= maxStates {
+					return fmt.Errorf("fuzzy: term %q at distance %d exceeds %d DFA states", string(d.term), d.dist, maxStates)
+				}
+				id = uint16(len(cols))
+				ids[key] = id
+				cols = append(cols, next)
+				d.accept = append(d.accept, next[m-1] <= uint8(d.dist))
+			}
+			d.trans = append(d.trans, id)
+		}
+	}
+	return nil
+}
+
+// stepColumn advances one clamped Sellers column by a rune whose
+// characteristic bitvector is mask: nv[j] is the minimum of a diagonal
+// move (substitution, free when the rune matches term[j]), a vertical
+// move (delete from the term), and a horizontal move (insert into the
+// term), with the implicit nv[0] = 0 of substring matching.
+func stepColumn(col []uint8, mask uint64, cap1 uint8) []uint8 {
+	next := make([]uint8, len(col))
+	prevDiag := uint8(0) // col[j-1] with the implicit leading 0 cell
+	prevNew := uint8(0)  // nv[j-1], likewise
+	for j := range col {
+		sub := prevDiag
+		if mask&(1<<uint(j)) == 0 {
+			sub++
+		}
+		v := sub
+		if del := col[j] + 1; del < v {
+			v = del
+		}
+		if ins := prevNew + 1; ins < v {
+			v = ins
+		}
+		if v > cap1 {
+			v = cap1
+		}
+		next[j] = v
+		prevDiag = col[j]
+		prevNew = v
+	}
+	return next
+}
+
+// Within is the reference oracle: it reports whether text contains a
+// substring within edit distance dist of term, by the plain O(len(text)
+// × len(term)) Sellers dynamic program. It exists to check the DFA (unit
+// tests, the FuzzLevenshteinDFA target, and the planner's no-false-
+// negative property tests run the two against each other), not to be
+// fast. Unlike Compile, it accepts any term and distance: a term of
+// dist or fewer runes trivially matches everything, including the
+// empty text.
+func Within(text, term string, dist int) bool {
+	pat := []rune(term)
+	if len(pat) <= dist {
+		return true
+	}
+	col := make([]int, len(pat))
+	for j := range col {
+		col[j] = j + 1
+	}
+	for _, r := range text {
+		prevDiag, prevNew := 0, 0
+		for j := range col {
+			sub := prevDiag
+			if pat[j] != r {
+				sub++
+			}
+			v := sub
+			if del := col[j] + 1; del < v {
+				v = del
+			}
+			if ins := prevNew + 1; ins < v {
+				v = ins
+			}
+			prevDiag = col[j]
+			col[j] = v
+			prevNew = v
+		}
+		if col[len(col)-1] <= dist {
+			return true
+		}
+	}
+	return false
+}

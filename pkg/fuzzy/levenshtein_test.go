@@ -1,0 +1,176 @@
+package fuzzy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// dfaContains runs the DFA over text the way pkg/query does: step rune
+// by rune, matching absorbs.
+func dfaContains(d *DFA, text string) bool {
+	q := d.Start()
+	for _, r := range text {
+		var hit bool
+		q, hit = d.Step(q, r)
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompileValidation(t *testing.T) {
+	cases := []struct {
+		term string
+		dist int
+		ok   bool
+	}{
+		{"", 0, false},
+		{"a", 0, true},
+		{"a", 1, false},  // term no longer than distance
+		{"ab", 2, false}, // likewise
+		{"abc", 2, true},
+		{"abc", 3, false}, // distance above MaxDistance
+		{"abc", -1, false},
+		{string(make([]rune, 65)), 0, false}, // over the rune limit
+	}
+	for _, c := range cases {
+		_, err := Compile(c.term, c.dist)
+		if (err == nil) != c.ok {
+			t.Errorf("Compile(%q, %d): err=%v, want ok=%v", c.term, c.dist, err, c.ok)
+		}
+	}
+}
+
+func TestDFAExactAndEdits(t *testing.T) {
+	cases := []struct {
+		term string
+		dist int
+		text string
+		want bool
+	}{
+		{"staccato", 0, "the staccato system", true},
+		{"staccato", 0, "the staccat0 system", false},
+		{"staccato", 1, "the staccat0 system", true},  // substitution
+		{"staccato", 1, "the staccto system", true},   // deletion
+		{"staccato", 1, "the staxccato system", true}, // insertion
+		{"staccato", 1, "the stcact0 system", false},  // two edits
+		{"staccato", 2, "the stacat0 system", true},   // deletion + substitution
+		{"abc", 1, "", false},
+		{"abc", 1, "zzzz", false},
+		{"abc", 1, "ab", true},  // one deletion, window at end of text
+		{"abc", 1, "xbc", true}, // substitution at window start
+		{"héllo", 1, "ahexllo!", false},
+		{"héllo", 1, "ahéxllo!", true}, // rune-level, not byte-level, edits
+		{"héllo", 1, "hello", true},    // é→e is ONE rune substitution
+		{"日本語", 1, "この日本語の", true},
+		{"日本語", 1, "この日木語の", true},
+		{"日本語", 1, "この月木語の", false},
+	}
+	for _, c := range cases {
+		d, err := Compile(c.term, c.dist)
+		if err != nil {
+			t.Fatalf("Compile(%q, %d): %v", c.term, c.dist, err)
+		}
+		if got := dfaContains(d, c.text); got != c.want {
+			t.Errorf("DFA(%q, %d) on %q: got %v, want %v", c.term, c.dist, c.text, got, c.want)
+		}
+		if got := Within(c.text, c.term, c.dist); got != c.want {
+			t.Errorf("Within(%q, %q, %d): got %v, want %v", c.text, c.term, c.dist, got, c.want)
+		}
+	}
+}
+
+func TestStartStateNeverAccepts(t *testing.T) {
+	for _, term := range []string{"a", "ab", "staccato", "日本語"} {
+		for dist := 0; dist <= MaxDistance && dist < len([]rune(term)); dist++ {
+			d, err := Compile(term, dist)
+			if err != nil {
+				t.Fatalf("Compile(%q, %d): %v", term, dist, err)
+			}
+			if d.accept[d.Start()] {
+				t.Errorf("Compile(%q, %d): start state accepts the empty window", term, dist)
+			}
+		}
+	}
+}
+
+// TestDeterministicConstruction compiles the same term twice and demands
+// identical state numbering and transitions: the product DP downstream
+// derives float accumulation order from these IDs, so any construction
+// nondeterminism would break bit-identical search results.
+func TestDeterministicConstruction(t *testing.T) {
+	for _, term := range []string{"staccato", "abcabc", "日本語テスト", "mississippi"} {
+		for dist := 0; dist <= MaxDistance; dist++ {
+			a := MustCompile(term, dist)
+			b := MustCompile(term, dist)
+			if !reflect.DeepEqual(a.trans, b.trans) || !reflect.DeepEqual(a.accept, b.accept) ||
+				!reflect.DeepEqual(a.alphabet, b.alphabet) {
+				t.Fatalf("Compile(%q, %d) is not deterministic", term, dist)
+			}
+		}
+	}
+}
+
+// TestDFAAgainstOracleRandom cross-checks the DFA against the reference
+// DP over random terms and inputs drawn from a small alphabet (small so
+// near-misses are common, which is where the two could disagree).
+func TestDFAAgainstOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	letters := []rune("abcd")
+	randWord := func(n int) string {
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(out)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		dist := rng.Intn(MaxDistance + 1)
+		term := randWord(dist + 1 + rng.Intn(6))
+		text := randWord(rng.Intn(20))
+		d, err := Compile(term, dist)
+		if err != nil {
+			t.Fatalf("Compile(%q, %d): %v", term, dist, err)
+		}
+		got, want := dfaContains(d, text), Within(text, term, dist)
+		if got != want {
+			t.Fatalf("term=%q dist=%d text=%q: DFA=%v oracle=%v", term, dist, text, got, want)
+		}
+	}
+}
+
+func TestNumStatesBounded(t *testing.T) {
+	// The worst realistic case — a long low-diversity term at max
+	// distance — must stay far under the uint16 joint-state encoding.
+	d := MustCompile("abababababababababababababababab", MaxDistance)
+	if n := d.NumStates(); n >= maxStates {
+		t.Fatalf("NumStates=%d, want < %d", n, maxStates)
+	}
+	if d.Term() != "abababababababababababababababab" || d.Distance() != MaxDistance {
+		t.Fatalf("Term/Distance round-trip broken: %q %d", d.Term(), d.Distance())
+	}
+}
+
+// FuzzLevenshteinDFA is the native fuzz target CI smokes: for any
+// (term, dist, input), running the DFA over the input must agree exactly
+// with the reference edit-distance oracle.
+func FuzzLevenshteinDFA(f *testing.F) {
+	f.Add("staccato", 1, "the staccat0 system")
+	f.Add("abc", 0, "xabcx")
+	f.Add("abc", 2, "")
+	f.Add("日本語", 1, "この日木語の")
+	f.Add("aaaa", 2, "aabaa")
+	f.Add("ab", 1, "ba")
+	f.Fuzz(func(t *testing.T, term string, dist int, text string) {
+		d, err := Compile(term, dist)
+		if err != nil {
+			t.Skip() // invalid (term, dist) pairs are Compile's to reject
+		}
+		got, want := dfaContains(d, text), Within(text, term, dist)
+		if got != want {
+			t.Fatalf("term=%q dist=%d text=%q: DFA=%v oracle=%v", term, dist, text, got, want)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/paper-repo/staccato-go/internal/core"
+	"github.com/paper-repo/staccato-go/pkg/fuzzy"
 )
 
 // automaton is a deterministic matcher compiled from a query term. step
@@ -23,13 +24,16 @@ type automaton interface {
 // encoding, with generous headroom for any realistic query.
 const maxTermRunes = 1 << 12
 
-func compile(term string, mode Mode) (automaton, error) {
+func compile(term string, mode Mode, dist int) (automaton, error) {
 	pat := []rune(term)
 	if len(pat) == 0 {
 		return nil, fmt.Errorf("query: empty term")
 	}
 	if len(pat) > maxTermRunes {
 		return nil, fmt.Errorf("query: term of %d runes exceeds the %d-rune limit", len(pat), maxTermRunes)
+	}
+	if dist != 0 && mode != ModeFuzzy {
+		return nil, fmt.Errorf("query: edit distance %d on non-fuzzy mode %d", dist, mode)
 	}
 	switch mode {
 	case ModeSubstring:
@@ -41,10 +45,29 @@ func compile(term string, mode Mode) (automaton, error) {
 			}
 		}
 		return newKeyword(pat), nil
+	case ModeFuzzy:
+		d, err := fuzzy.Compile(term, dist)
+		if err != nil {
+			return nil, fmt.Errorf("query: %w", err)
+		}
+		return fuzzyAuto{d}, nil
 	default:
 		return nil, fmt.Errorf("query: unknown mode %d", mode)
 	}
 }
+
+// fuzzyAuto adapts a Levenshtein DFA to the automaton interface. The DFA
+// already matches on entering an accepting state (a window within the
+// edit distance just ended), so step delegates directly; there is no
+// end-of-text acceptance because matching is not boundary-conditioned.
+type fuzzyAuto struct {
+	dfa *fuzzy.DFA
+}
+
+func (a fuzzyAuto) numStates() int                 { return a.dfa.NumStates() }
+func (a fuzzyAuto) start() int                     { return a.dfa.Start() }
+func (a fuzzyAuto) step(q int, r rune) (int, bool) { return a.dfa.Step(q, r) }
+func (a fuzzyAuto) acceptAtEnd(int) bool           { return false }
 
 // kmpAuto is the classic Knuth–Morris–Pratt automaton: state q means "the
 // last q runes seen equal the first q runes of the pattern". Reaching

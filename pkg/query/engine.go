@@ -125,6 +125,14 @@ type SearchOptions struct {
 	Candidates *CandidateSet
 	// Stats, when non-nil, receives the run's execution counters.
 	Stats *SearchStats
+	// Rescore, when non-nil, transforms each document before evaluation —
+	// the lexicon rescoring hook (fuzzy.Lexicon.Rescorer). The transform
+	// must be deterministic and support-preserving: it may move
+	// probability mass between a chunk's alternatives but must keep every
+	// alternative's probability strictly positive, or candidate pruning
+	// (computed from the untransformed index) could drop true matches. It
+	// must not mutate its argument, which workers share with the store.
+	Rescore func(*staccato.Doc) *staccato.Doc
 }
 
 // Search evaluates q against every stored document and returns the
@@ -140,7 +148,7 @@ type SearchOptions struct {
 // its output is byte-identical.
 func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Result, error) {
 	var out []Result
-	err := e.ForEachPruned(ctx, q, opts.Candidates, opts.Stats, func(r Result) error {
+	err := e.forEachPruned(ctx, q, opts.Candidates, opts.Stats, opts.Rescore, func(r Result) error {
 		if r.Prob <= 0 || r.Prob < opts.MinProb {
 			return nil
 		}
@@ -244,6 +252,9 @@ func (e *Engine) SearchCandidates(ctx context.Context, q *Query, cand *Candidate
 						continue // deleted between planning and fetching
 					}
 					evaluated++
+					if opts.Rescore != nil {
+						doc = opts.Rescore(doc)
+					}
 					p := q.Eval(doc)
 					if p <= 0 || p < opts.MinProb {
 						continue
@@ -329,8 +340,21 @@ func (e *Engine) ForEach(ctx context.Context, q *Query, fn func(Result) error) e
 // unaffected: it drops zero-probability results, so it matches an
 // execution ordered before such a write).
 func (e *Engine) ForEachPruned(ctx context.Context, q *Query, cand *CandidateSet, stats *SearchStats, fn func(Result) error) error {
+	return e.forEachPruned(ctx, q, cand, stats, nil, fn)
+}
+
+// forEachPruned is ForEachPruned plus the rescore hook Search threads
+// through from SearchOptions.Rescore; a nil rescore evaluates documents
+// as stored.
+func (e *Engine) forEachPruned(ctx context.Context, q *Query, cand *CandidateSet, stats *SearchStats, rescore func(*staccato.Doc) *staccato.Doc, fn func(Result) error) error {
 	if q == nil || q.expr == nil {
 		return errors.New("query: ForEach requires a compiled, non-nil Query")
+	}
+	eval := func(d *staccato.Doc) float64 {
+		if rescore != nil {
+			d = rescore(d)
+		}
+		return q.Eval(d)
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -446,7 +470,7 @@ func (e *Engine) ForEachPruned(ctx context.Context, q *Query, cand *CandidateSet
 					}
 					r.res = Result{DocID: id}
 				case j.doc != nil:
-					r.res = Result{DocID: j.doc.ID, Prob: q.Eval(j.doc)}
+					r.res = Result{DocID: j.doc.ID, Prob: eval(j.doc)}
 					r.evaluated = true
 				default:
 					doc, err := e.st.Get(ctx, j.id)
@@ -458,7 +482,7 @@ func (e *Engine) ForEachPruned(ctx context.Context, q *Query, cand *CandidateSet
 						fail(err)
 						return
 					default:
-						r.res = Result{DocID: doc.ID, Prob: q.Eval(doc)}
+						r.res = Result{DocID: doc.ID, Prob: eval(doc)}
 						r.evaluated = true
 					}
 				}

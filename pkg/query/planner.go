@@ -180,10 +180,13 @@ func (planNone) collectGrams(map[string]struct{})               {}
 func (planNone) render(sb *strings.Builder)                     { sb.WriteString("none") }
 
 // planGrams is a prunable leaf: all grams must be present in a matching
-// document.
+// document. For a fuzzy leaf, term is one contiguous piece of the query
+// term (see buildFuzzyLeaf) and dist records the leaf's edit distance
+// for rendering.
 type planGrams struct {
 	term  string
 	mode  Mode
+	dist  int
 	grams []string
 }
 
@@ -204,11 +207,14 @@ func (n planGrams) collectGrams(into map[string]struct{}) {
 }
 
 func (n planGrams) render(sb *strings.Builder) {
-	kind := "substr"
-	if n.mode == ModeKeyword {
-		kind = "kw"
+	switch n.mode {
+	case ModeKeyword:
+		fmt.Fprintf(sb, "grams(kw(%q) ×%d)", n.term, len(n.grams))
+	case ModeFuzzy:
+		fmt.Fprintf(sb, "grams(fuzzy(%q, %d) ×%d)", n.term, n.dist, len(n.grams))
+	default:
+		fmt.Fprintf(sb, "grams(substr(%q) ×%d)", n.term, len(n.grams))
 	}
-	fmt.Fprintf(sb, "grams(%s(%q) ×%d)", kind, n.term, len(n.grams))
 }
 
 type planAnd []planNode
@@ -303,6 +309,9 @@ func buildPlan(e expr, leaves []leaf, gramSize int) planNode {
 		return planNone{}
 	case leafExpr:
 		lf := leaves[t]
+		if lf.mode == ModeFuzzy {
+			return buildFuzzyLeaf(lf, gramSize)
+		}
 		grams := termGrams(lf.term, gramSize)
 		if len(grams) == 0 {
 			return planAll{reason: fmt.Sprintf("term %q shorter than gram size %d", lf.term, gramSize)}
@@ -353,6 +362,43 @@ func buildPlan(e expr, leaves []leaf, gramSize int) planNode {
 	default:
 		return planAll{reason: "unknown expression"}
 	}
+}
+
+// buildFuzzyLeaf lowers a fuzzy leaf by the pigeonhole argument: split
+// the term's m runes into dist+1 contiguous near-equal pieces. Any
+// occurrence within dist edits leaves at least one piece untouched —
+// each substitution or deletion lands inside at most one piece, and an
+// insertion at a piece boundary lands inside none — and that surviving
+// piece appears contiguously in the matched window, so the document must
+// contain every one of its q-grams. The union over pieces of "has all of
+// this piece's grams" is therefore a sound superset of the matches. The
+// lowering is only available when every piece carries gram evidence,
+// i.e. the shortest piece — floor(m/(dist+1)) runes — is at least
+// gramSize; shorter terms degrade to a scan, per the strictly
+// no-false-negative contract.
+func buildFuzzyLeaf(lf leaf, gramSize int) planNode {
+	runes := []rune(lf.term)
+	if len(runes)/(lf.dist+1) < gramSize {
+		return planAll{reason: fmt.Sprintf("fuzzy term %q at distance %d leaves pieces shorter than gram size %d", lf.term, lf.dist, gramSize)}
+	}
+	kids := make([]planNode, 0, lf.dist+1)
+	for _, piece := range splitPieces(runes, lf.dist+1) {
+		kids = append(kids, planGrams{term: piece, mode: ModeFuzzy, dist: lf.dist, grams: termGrams(piece, gramSize)})
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return planOr(kids)
+}
+
+// splitPieces splits runes into n contiguous pieces whose lengths differ
+// by at most one; the shortest is floor(len/n) runes.
+func splitPieces(runes []rune, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, string(runes[i*len(runes)/n:(i+1)*len(runes)/n]))
+	}
+	return out
 }
 
 // termGrams returns every q-rune window of term, deduplicated and sorted;

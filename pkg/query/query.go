@@ -51,6 +51,10 @@ const (
 	// be delimited by non-word characters (or the document edges). Terms
 	// must consist of word characters only.
 	ModeKeyword
+	// ModeFuzzy matches any substring within a bounded edit distance of
+	// the term (a Levenshtein automaton leaf); the distance rides on the
+	// leaf. Fuzzy(term, 0) is semantically ModeSubstring.
+	ModeFuzzy
 )
 
 // Query is a compiled boolean predicate over document text. Leaves are
@@ -62,34 +66,45 @@ type Query struct {
 	expr   expr
 }
 
-// leaf is one compiled term automaton. Duplicate (term, mode) pairs are
-// shared when queries are combined, so a term appearing in several
-// branches is tracked by a single automaton during evaluation.
+// leaf is one compiled term automaton. Duplicate (term, mode, dist)
+// triples are shared when queries are combined, so a term appearing in
+// several branches is tracked by a single automaton during evaluation.
+// dist is meaningful only for ModeFuzzy and zero otherwise.
 type leaf struct {
 	term string
 	mode Mode
+	dist int
 	auto automaton
 }
 
 // Substring compiles a query matching documents whose text contains term
 // anywhere.
-func Substring(term string) (*Query, error) { return newTerm(term, ModeSubstring) }
+func Substring(term string) (*Query, error) { return newTerm(term, ModeSubstring, 0) }
 
 // Keyword compiles a query matching documents whose text contains term as
 // a whole token delimited by non-word characters or the document edges.
 // The term must consist of word characters only.
-func Keyword(term string) (*Query, error) { return newTerm(term, ModeKeyword) }
+func Keyword(term string) (*Query, error) { return newTerm(term, ModeKeyword, 0) }
 
-// Term compiles a single-term query in the given mode.
-func Term(term string, mode Mode) (*Query, error) { return newTerm(term, mode) }
+// Fuzzy compiles a query matching documents whose text contains any
+// substring within edit distance dist (Levenshtein: substitutions,
+// insertions, deletions, counted over runes) of term. dist must be in
+// [0, fuzzy.MaxDistance] and the term must be longer than dist runes —
+// otherwise every text would match. Fuzzy(term, 0) matches exactly what
+// Substring(term) matches, evaluated through the Levenshtein automaton.
+func Fuzzy(term string, dist int) (*Query, error) { return newTerm(term, ModeFuzzy, dist) }
 
-func newTerm(term string, mode Mode) (*Query, error) {
-	a, err := compile(term, mode)
+// Term compiles a single-term query in the given mode. For ModeFuzzy it
+// compiles at distance 0; use Fuzzy for a real edit-distance leaf.
+func Term(term string, mode Mode) (*Query, error) { return newTerm(term, mode, 0) }
+
+func newTerm(term string, mode Mode, dist int) (*Query, error) {
+	a, err := compile(term, mode, dist)
 	if err != nil {
 		return nil, err
 	}
 	return &Query{
-		leaves: []leaf{{term: term, mode: mode, auto: a}},
+		leaves: []leaf{{term: term, mode: mode, dist: dist, auto: a}},
 		expr:   leafExpr(0),
 	}, nil
 }
@@ -157,9 +172,9 @@ func combine(op opKind, first *Query, rest []*Query) *Query {
 	return out
 }
 
-// merge folds src's leaves into q, sharing automata for (term, mode) pairs
-// q already tracks, and returns src's formula rewritten against q's leaf
-// numbering.
+// merge folds src's leaves into q, sharing automata for (term, mode,
+// dist) triples q already tracks, and returns src's formula rewritten
+// against q's leaf numbering.
 func (q *Query) merge(src *Query) expr {
 	if src == nil || src.expr == nil {
 		return constExpr(false)
@@ -168,7 +183,7 @@ func (q *Query) merge(src *Query) expr {
 	for i, lf := range src.leaves {
 		j := -1
 		for k, have := range q.leaves {
-			if have.term == lf.term && have.mode == lf.mode {
+			if have.term == lf.term && have.mode == lf.mode && have.dist == lf.dist {
 				j = k
 				break
 			}
@@ -226,9 +241,12 @@ func (e leafExpr) eval(bits []bool) bool { return bits[e] }
 func (e leafExpr) remap(to []int) expr   { return leafExpr(to[e]) }
 func (e leafExpr) render(sb *strings.Builder, leaves []leaf) {
 	lf := leaves[e]
-	if lf.mode == ModeKeyword {
+	switch lf.mode {
+	case ModeKeyword:
 		fmt.Fprintf(sb, "kw(%q)", lf.term)
-	} else {
+	case ModeFuzzy:
+		fmt.Fprintf(sb, "fuzzy(%q, %d)", lf.term, lf.dist)
+	default:
 		fmt.Fprintf(sb, "substr(%q)", lf.term)
 	}
 }

@@ -23,14 +23,19 @@ const (
 // and rune offsets ([Start, End) and [RuneStart, RuneEnd)). Byte offsets
 // index the reading's UTF-8 bytes — the natural unit for slicing the text
 // into retrieval chunks — while rune offsets are stable under any
-// re-encoding. The JSON form is the wire shape of the staccatod snippets
-// endpoint.
+// re-encoding. For a fuzzy leaf, Term is the matched variant as it
+// appears in the reading, not the query term — the caller sees what the
+// text actually says. Context, filled only when SnippetOptions.ContextRunes
+// is positive, is the matched text plus up to that many runes of
+// surrounding reading text on each side. The JSON form is the wire shape
+// of the staccatod snippets endpoint.
 type Span struct {
 	Term      string `json:"term"`
 	Start     int    `json:"start"`
 	End       int    `json:"end"`
 	RuneStart int    `json:"rune_start"`
 	RuneEnd   int    `json:"rune_end"`
+	Context   string `json:"context,omitempty"`
 }
 
 // SnippetReading is one retained reading that satisfies the query: its
@@ -67,6 +72,10 @@ type SnippetOptions struct {
 	// may examine per document; documents dominated by non-matching
 	// readings give up (Truncated) rather than enumerate without bound.
 	MaxEnumerate int
+	// ContextRunes, when positive, fills each Span.Context with the
+	// matched text plus up to ContextRunes runes of surrounding reading
+	// text on each side. Zero leaves Context empty.
+	ContextRunes int
 }
 
 func (o SnippetOptions) withDefaults() SnippetOptions {
@@ -104,6 +113,9 @@ func (q *Query) Snippets(d *staccato.Doc, opts SnippetOptions) DocSnippets {
 		}
 		examined++
 		if ok, spans := q.MatchText(text); ok {
+			if opts.ContextRunes > 0 {
+				addContext(text, spans, opts.ContextRunes)
+			}
 			out.Readings = append(out.Readings, SnippetReading{Text: text, Prob: prob, Spans: spans})
 		}
 		return len(out.Readings) < opts.MaxReadings
@@ -134,9 +146,12 @@ func (q *Query) MatchText(text string) (bool, []Span) {
 	var spans []Span
 	for i, lf := range q.leaves {
 		var occ []Span
-		if lf.mode == ModeKeyword {
+		switch lf.mode {
+		case ModeKeyword:
 			occ = keywordSpans(text, lf.term)
-		} else {
+		case ModeFuzzy:
+			occ = fuzzySpans(text, lf.term, lf.dist)
+		default:
 			occ = substringSpans(text, lf.term)
 		}
 		bits[i] = len(occ) > 0
@@ -185,6 +200,151 @@ func substringSpans(text, term string) []Span {
 		_, sz := utf8.DecodeRuneInString(text[start:])
 		from = start + sz
 		runesBefore++
+	}
+}
+
+// fuzzySpans finds occurrences of term within edit distance dist in
+// text, reporting one span per occurrence site. A Sellers DP over the
+// text's runes marks every end position whose best-matching window is
+// within dist; maximal runs of consecutive accepting ends — the smear a
+// single occurrence leaves, since extending or trimming a match by one
+// rune costs at most one edit — collapse to one span each. Within a run
+// the reported window ends where the edit distance is smallest (latest
+// such end on ties, so "staccat0" is reported over its truncation
+// "staccat") and starts wherever minimizes the distance again (latest
+// such start on ties, i.e. the tightest window). The span's Term
+// is the matched variant as it appears in the text. Selection is
+// deterministic, so snippet output stays byte-identical across execution
+// modes.
+func fuzzySpans(text, term string, dist int) []Span {
+	pat := []rune(term)
+	if len(pat) == 0 || len(pat) <= dist {
+		return nil // such terms never compile into a query
+	}
+	runes := []rune(text)
+	byteOff := make([]int, len(runes)+1)
+	for i, b := 0, 0; ; i++ {
+		byteOff[i] = b
+		if i == len(runes) {
+			break
+		}
+		b += utf8.RuneLen(runes[i])
+	}
+
+	// endCost[e] = min edits from term to some window ending at rune e.
+	endCost := make([]int, len(runes)+1)
+	endCost[0] = len(pat) // the empty window: delete the whole term
+	col := make([]int, len(pat))
+	for j := range col {
+		col[j] = j + 1
+	}
+	for e, r := range runes {
+		prevDiag, prevNew := 0, 0
+		for j := range col {
+			sub := prevDiag
+			if pat[j] != r {
+				sub++
+			}
+			v := sub
+			if del := col[j] + 1; del < v {
+				v = del
+			}
+			if ins := prevNew + 1; ins < v {
+				v = ins
+			}
+			prevDiag = col[j]
+			col[j] = v
+			prevNew = v
+		}
+		endCost[e+1] = col[len(pat)-1]
+	}
+
+	var out []Span
+	for e := 1; e <= len(runes); e++ {
+		if endCost[e] > dist {
+			continue
+		}
+		// Walk the maximal run of accepting ends starting here and pick
+		// the best end within it.
+		best := e
+		for e+1 <= len(runes) && endCost[e+1] <= dist {
+			e++
+			if endCost[e] <= endCost[best] {
+				best = e
+			}
+		}
+		start := fuzzyStart(runes, pat, best, dist)
+		out = append(out, Span{
+			Term:      string(runes[start:best]),
+			Start:     byteOff[start],
+			End:       byteOff[best],
+			RuneStart: start,
+			RuneEnd:   best,
+		})
+	}
+	return out
+}
+
+// fuzzyStart picks the start of the window ending at rune end: among the
+// feasible lengths (a window within dist edits of an m-rune term has
+// between m-dist and m+dist runes) it minimizes the edit distance to the
+// term, preferring the latest start — the tightest window — on ties.
+func fuzzyStart(runes, pat []rune, end, dist int) int {
+	bestS, bestD := -1, -1
+	for l := len(pat) - dist; l <= len(pat)+dist; l++ {
+		s := end - l
+		if s < 0 || s > end {
+			continue
+		}
+		d := editDistRunes(runes[s:end], pat)
+		if bestS < 0 || d < bestD || (d == bestD && s > bestS) {
+			bestS, bestD = s, d
+		}
+	}
+	return bestS
+}
+
+// editDistRunes is the plain Levenshtein distance between rune slices.
+func editDistRunes(a, b []rune) int {
+	col := make([]int, len(b)+1)
+	for j := range col {
+		col[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prevDiag := col[0]
+		col[0] = i
+		for j := 1; j <= len(b); j++ {
+			v := prevDiag
+			if a[i-1] != b[j-1] {
+				v++
+			}
+			if del := col[j] + 1; del < v {
+				v = del
+			}
+			if ins := col[j-1] + 1; ins < v {
+				v = ins
+			}
+			prevDiag = col[j]
+			col[j] = v
+		}
+	}
+	return col[len(b)]
+}
+
+// addContext fills each span's Context with the matched text plus up to
+// n runes of surrounding reading text on each side.
+func addContext(text string, spans []Span, n int) {
+	runes := []rune(text)
+	for i := range spans {
+		lo := spans[i].RuneStart - n
+		if lo < 0 {
+			lo = 0
+		}
+		hi := spans[i].RuneEnd + n
+		if hi > len(runes) {
+			hi = len(runes)
+		}
+		spans[i].Context = string(runes[lo:hi])
 	}
 }
 

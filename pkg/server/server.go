@@ -42,10 +42,12 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/paper-repo/staccato-go/pkg/fuzzy"
 	"github.com/paper-repo/staccato-go/pkg/query"
 	"github.com/paper-repo/staccato-go/pkg/staccato"
 	"github.com/paper-repo/staccato-go/pkg/staccatodb"
@@ -81,6 +83,14 @@ type Options struct {
 	// RetryAfter is the hint returned in the Retry-After header of 429
 	// responses.
 	RetryAfter time.Duration
+	// Lexicon, when non-nil, enables lexicon rescoring: a request setting
+	// "lexicon": true is ranked under Lexicon.Rescorer(LexiconBoost).
+	// When nil, such requests are rejected with 400 — the knob must fail
+	// loudly, not silently rank without the dictionary.
+	Lexicon *fuzzy.Lexicon
+	// LexiconBoost is the rescoring boost applied per fully in-dictionary
+	// token; zero selects fuzzy.DefaultBoost.
+	LexiconBoost float64
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +106,9 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = DefaultRetryAfter
 	}
+	if o.LexiconBoost <= 0 {
+		o.LexiconBoost = fuzzy.DefaultBoost
+	}
 	return o
 }
 
@@ -103,12 +116,13 @@ func (o Options) withDefaults() Options {
 // Handler on an http.Server, and stop with Shutdown. The Server owns
 // the DB from New onward: Shutdown closes it.
 type Server struct {
-	db    *staccatodb.DB
-	opts  Options
-	cache *queryCache
-	met   *metrics
-	sem   chan struct{}
-	mux   *http.ServeMux
+	db      *staccatodb.DB
+	opts    Options
+	cache   *queryCache
+	met     *metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+	rescore func(*staccato.Doc) *staccato.Doc // nil unless Options.Lexicon is set
 
 	mu       sync.Mutex
 	draining bool
@@ -134,6 +148,9 @@ func New(db *staccatodb.DB, opts Options) *Server {
 		opts:  opts,
 		cache: newQueryCache(opts.QueryCacheSize),
 		sem:   make(chan struct{}, opts.MaxInFlight),
+	}
+	if opts.Lexicon != nil {
+		s.rescore = opts.Lexicon.Rescorer(opts.LexiconBoost)
 	}
 	endpoints := []string{"ingest", "search", "snippets", "explain", "get_doc", "delete_doc", "stats", "health"}
 	s.met = newMetrics(endpoints, s.cache, db.Workers(), opts.MaxInFlight)
@@ -328,8 +345,14 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) erro
 type queryRequest struct {
 	// Terms are the query terms; at least one is required.
 	Terms []string `json:"terms"`
-	// Mode is the leaf type: "substring" (default) or "keyword".
+	// Mode is the leaf type: "substring" (default), "keyword", or "fuzzy".
 	Mode string `json:"mode,omitempty"`
+	// Distance is the edit distance of fuzzy leaves, in
+	// [0, fuzzy.MaxDistance]. Only valid with mode "fuzzy".
+	Distance int `json:"distance,omitempty"`
+	// Lexicon, when true, ranks under the server's lexicon rescorer;
+	// rejected with 400 when the server was started without a lexicon.
+	Lexicon bool `json:"lexicon,omitempty"`
 	// Combine joins multiple terms: "and" (default) or "or".
 	Combine string `json:"combine,omitempty"`
 	// Not, when set, additionally requires this term to be absent.
@@ -343,12 +366,15 @@ type queryRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
-// cacheKey canonicalizes the compiled part of the request — the part
-// that determines the Query, not the runtime options — so equal query
-// structures share one cache entry.
+// cacheKey canonicalizes the query-defining part of the request — every
+// field that changes what a hit would evaluate, so two specs differing
+// only in, say, distance can never share an entry. Lexicon is included
+// even though it shapes SearchOptions rather than the compiled Query:
+// keying it keeps the cache key aligned with "same spec, same results"
+// rather than an implementation detail of what the cache stores.
 func (q *queryRequest) cacheKey() string {
-	parts := make([]string, 0, len(q.Terms)+3)
-	parts = append(parts, q.Mode, q.Combine, q.Not)
+	parts := make([]string, 0, len(q.Terms)+5)
+	parts = append(parts, q.Mode, strconv.Itoa(q.Distance), strconv.FormatBool(q.Lexicon), q.Combine, q.Not)
 	parts = append(parts, q.Terms...)
 	return strings.Join(parts, "\x00")
 }
@@ -362,12 +388,17 @@ func (q *queryRequest) compile() (*query.Query, error) {
 			return query.Substring(term)
 		case "keyword":
 			return query.Keyword(term)
+		case "fuzzy":
+			return query.Fuzzy(term, q.Distance)
 		default:
-			return nil, fmt.Errorf("unknown mode %q (want substring or keyword)", q.Mode)
+			return nil, fmt.Errorf("unknown mode %q (want substring, keyword, or fuzzy)", q.Mode)
 		}
 	}
 	if len(q.Terms) == 0 {
 		return nil, errors.New("at least one query term is required")
+	}
+	if q.Distance != 0 && q.Mode != "fuzzy" {
+		return nil, fmt.Errorf("distance %d is only valid with mode fuzzy", q.Distance)
 	}
 	leaves := make([]*query.Query, len(q.Terms))
 	for i, term := range q.Terms {
@@ -399,6 +430,20 @@ func (q *queryRequest) compile() (*query.Query, error) {
 // compiledQuery resolves the request through the cache.
 func (s *Server) compiledQuery(req *queryRequest) (*query.Query, bool, error) {
 	return s.cache.get(req.cacheKey(), req.compile)
+}
+
+// searchOptions builds the engine options a query request asks for,
+// failing when the request wants lexicon rescoring the server cannot
+// provide.
+func (s *Server) searchOptions(req *queryRequest) (query.SearchOptions, error) {
+	opts := query.SearchOptions{MinProb: req.MinProb, TopN: req.Top}
+	if req.Lexicon {
+		if s.rescore == nil {
+			return opts, errors.New("lexicon rescoring requested but no lexicon is loaded; start staccatod with -lexicon")
+		}
+		opts.Rescore = s.rescore
+	}
+	return opts, nil
 }
 
 // ingestRequest is the wire form of a batched write.
@@ -464,13 +509,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
 		return
 	}
+	opts, err := s.searchOptions(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	if s.testHookSearch != nil {
 		s.testHookSearch(ctx)
 	}
 	start := time.Now()
-	results, stats, err := s.db.Search(ctx, q, query.SearchOptions{MinProb: req.MinProb, TopN: req.Top})
+	results, stats, err := s.db.Search(ctx, q, opts)
 	if err != nil {
 		writeDBError(w, err)
 		return
@@ -499,6 +549,9 @@ type snippetsRequest struct {
 	// enumeration may examine (default query.DefaultMaxEnumerate); the
 	// server additionally caps it so one request cannot buy unbounded CPU.
 	MaxEnumerate int `json:"max_enumerate,omitempty"`
+	// ContextRunes, when positive, adds surrounding reading text to each
+	// span: the match plus up to this many runes on each side.
+	ContextRunes int `json:"context_runes,omitempty"`
 }
 
 // Server-side ceilings on the snippet knobs: snippet extraction is
@@ -507,6 +560,7 @@ type snippetsRequest struct {
 const (
 	maxSnippetReadings  = 64
 	maxSnippetEnumerate = 1 << 16
+	maxSnippetContext   = 512
 )
 
 type snippetsResponse struct {
@@ -536,9 +590,18 @@ func (s *Server) handleSnippets(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "max_enumerate must be in [0, %d], got %d", maxSnippetEnumerate, req.MaxEnumerate)
 		return
 	}
+	if req.ContextRunes < 0 || req.ContextRunes > maxSnippetContext {
+		writeError(w, http.StatusBadRequest, "context_runes must be in [0, %d], got %d", maxSnippetContext, req.ContextRunes)
+		return
+	}
 	q, hit, err := s.compiledQuery(&req.queryRequest)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
+		return
+	}
+	opts, err := s.searchOptions(&req.queryRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
@@ -547,9 +610,8 @@ func (s *Server) handleSnippets(w http.ResponseWriter, r *http.Request) {
 		s.testHookSearch(ctx)
 	}
 	start := time.Now()
-	snippets, stats, err := s.db.Snippets(ctx, q,
-		query.SearchOptions{MinProb: req.MinProb, TopN: req.Top},
-		query.SnippetOptions{MaxReadings: req.MaxReadings, MaxEnumerate: req.MaxEnumerate})
+	snippets, stats, err := s.db.Snippets(ctx, q, opts,
+		query.SnippetOptions{MaxReadings: req.MaxReadings, MaxEnumerate: req.MaxEnumerate, ContextRunes: req.ContextRunes})
 	if err != nil {
 		writeDBError(w, err)
 		return
@@ -589,10 +651,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid query: %v", err)
 		return
 	}
+	opts, err := s.searchOptions(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	results, stats, err := s.db.Search(ctx, q, query.SearchOptions{MinProb: req.MinProb, TopN: req.Top})
+	results, stats, err := s.db.Search(ctx, q, opts)
 	if err != nil {
 		writeDBError(w, err)
 		return

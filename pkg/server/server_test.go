@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/paper-repo/staccato-go/internal/testgen"
+	"github.com/paper-repo/staccato-go/pkg/fuzzy"
 	"github.com/paper-repo/staccato-go/pkg/staccato"
 	"github.com/paper-repo/staccato-go/pkg/staccatodb"
 )
@@ -696,5 +697,189 @@ func TestSnippetsEndpoint(t *testing.T) {
 	}
 	if st.Server.QueryCache.Hits != 1 {
 		t.Errorf("query cache hits = %d, want exactly the snippets reuse", st.Server.QueryCache.Hits)
+	}
+}
+
+// TestCacheKeyCoversQueryDefiningFields is the regression guard for the
+// compiled-query cache: every field that changes what a query evaluates
+// must change the key, so two different specs can never share an entry.
+func TestCacheKeyCoversQueryDefiningFields(t *testing.T) {
+	base := queryRequest{Terms: []string{"abcd"}, Mode: "fuzzy", Distance: 1, Combine: "and"}
+	same := base
+	if base.cacheKey() != same.cacheKey() {
+		t.Fatal("identical specs produced different cache keys")
+	}
+	variants := map[string]queryRequest{
+		"term":     {Terms: []string{"abce"}, Mode: "fuzzy", Distance: 1, Combine: "and"},
+		"terms":    {Terms: []string{"abcd", "abce"}, Mode: "fuzzy", Distance: 1, Combine: "and"},
+		"mode":     {Terms: []string{"abcd"}, Mode: "substring", Distance: 1, Combine: "and"},
+		"distance": {Terms: []string{"abcd"}, Mode: "fuzzy", Distance: 2, Combine: "and"},
+		"lexicon":  {Terms: []string{"abcd"}, Mode: "fuzzy", Distance: 1, Combine: "and", Lexicon: true},
+		"combine":  {Terms: []string{"abcd"}, Mode: "fuzzy", Distance: 1, Combine: "or"},
+		"not":      {Terms: []string{"abcd"}, Mode: "fuzzy", Distance: 1, Combine: "and", Not: "zz"},
+	}
+	for field, v := range variants {
+		if v.cacheKey() == base.cacheKey() {
+			t.Errorf("specs differing only in %s share a cache key %q", field, base.cacheKey())
+		}
+	}
+	// Field values must not bleed into each other through the separator:
+	// a term containing what another field contributes stays distinct.
+	a := queryRequest{Terms: []string{"x"}, Not: "y"}
+	b := queryRequest{Terms: []string{"y"}, Not: "x"}
+	if a.cacheKey() == b.cacheKey() {
+		t.Error("swapped term/not values share a cache key")
+	}
+}
+
+// TestFuzzyDistanceNeverSharesCacheEntry drives the regression over the
+// wire: two searches identical except for distance must both be cache
+// misses — a shared entry would silently answer the second query with
+// the first one's automaton.
+func TestFuzzyDistanceNeverSharesCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: testDocs(t, 5)})
+
+	var sr searchResponse
+	for i, d := range []int{1, 2, 1} {
+		status, body := postJSON(t, client, ts.URL+"/v1/search",
+			queryRequest{Terms: []string{"abcd"}, Mode: "fuzzy", Distance: d})
+		if status != http.StatusOK {
+			t.Fatalf("fuzzy search distance %d: status %d, body %s", d, status, body)
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		wantHit := i == 2 // only the repeat of distance 1 may reuse a compile
+		if sr.CacheHit != wantHit {
+			t.Errorf("fuzzy search %d (distance %d): cache_hit = %v, want %v", i, d, sr.CacheHit, wantHit)
+		}
+	}
+}
+
+// TestFuzzySearchEndpoint checks the fuzzy leaf over the wire: a term
+// with one corrupted rune misses as an exact substring but finds its
+// document at distance 1, and the invalid spec corners are 400s.
+func TestFuzzySearchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	client := ts.Client()
+	docs := testDocs(t, 20)
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: docs})
+
+	term := []rune(docs[0].MAP()[:6])
+	term[2] = '0' // never in the synthetic alphabet
+	corrupted := string(term)
+
+	var sr searchResponse
+	_, body := postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{corrupted}, Top: 0})
+	json.Unmarshal(body, &sr)
+	for _, r := range sr.Results {
+		if r.DocID == docs[0].ID {
+			t.Fatalf("exact search already finds corrupted term %q", corrupted)
+		}
+	}
+
+	status, body := postJSON(t, client, ts.URL+"/v1/search",
+		queryRequest{Terms: []string{corrupted}, Mode: "fuzzy", Distance: 1})
+	if status != http.StatusOK {
+		t.Fatalf("fuzzy search: status %d, body %s", status, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range sr.Results {
+		found = found || r.DocID == docs[0].ID && r.Prob > 0
+	}
+	if !found {
+		t.Errorf("fuzzy search for %q did not surface %s: %s", corrupted, docs[0].ID, body)
+	}
+
+	for name, bad := range map[string]queryRequest{
+		"distance without fuzzy mode": {Terms: []string{"abcd"}, Distance: 1},
+		"distance beyond maximum":     {Terms: []string{"abcd"}, Mode: "fuzzy", Distance: 3},
+		"negative distance":           {Terms: []string{"abcd"}, Mode: "fuzzy", Distance: -1},
+		"lexicon without a lexicon":   {Terms: []string{"abcd"}, Lexicon: true},
+	} {
+		if status, body := postJSON(t, client, ts.URL+"/v1/search", bad); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400; body %s", name, status, body)
+		}
+	}
+}
+
+// TestLexiconRescoringAndSnippetContext starts the server with a
+// lexicon and checks a lexicon-ranked fuzzy search succeeds, matches the
+// plain search's document set, and the snippets endpoint attaches
+// context windows (with its range guard enforced).
+func TestLexiconRescoringAndSnippetContext(t *testing.T) {
+	docs := testDocs(t, 20)
+	var words []string
+	for _, d := range docs {
+		words = append(words, strings.Fields(d.MAP())...)
+	}
+	_, ts := newTestServer(t, Options{Lexicon: fuzzy.NewLexicon(words)})
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/ingest", ingestRequest{Docs: docs})
+
+	term := docs[0].MAP()[:4]
+	var plain, scored searchResponse
+	_, body := postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{term}})
+	json.Unmarshal(body, &plain)
+	status, body := postJSON(t, client, ts.URL+"/v1/search", queryRequest{Terms: []string{term}, Lexicon: true})
+	if status != http.StatusOK {
+		t.Fatalf("lexicon search: status %d, body %s", status, body)
+	}
+	if err := json.Unmarshal(body, &scored); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Results) == 0 {
+		t.Fatal("plain search matched nothing; probe term is bad")
+	}
+	ids := func(sr searchResponse) map[string]bool {
+		out := map[string]bool{}
+		for _, r := range sr.Results {
+			out[r.DocID] = true
+		}
+		return out
+	}
+	if got, want := ids(scored), ids(plain); len(got) != len(want) {
+		t.Errorf("lexicon rescoring changed the matched set: %v vs %v", got, want)
+	}
+
+	sreq := snippetsRequest{MaxReadings: 2, ContextRunes: 5}
+	sreq.Terms = []string{term}
+	sreq.Lexicon = true
+	status, body = postJSON(t, client, ts.URL+"/v1/snippets", sreq)
+	if status != http.StatusOK {
+		t.Fatalf("snippets with context: status %d, body %s", status, body)
+	}
+	var snr snippetsResponse
+	if err := json.Unmarshal(body, &snr); err != nil {
+		t.Fatal(err)
+	}
+	sawContext := false
+	for _, sn := range snr.Snippets {
+		for _, rd := range sn.Readings {
+			for _, sp := range rd.Spans {
+				if sp.Context == "" {
+					t.Errorf("doc %s: span %s@%d-%d missing context", sn.DocID, sp.Term, sp.Start, sp.End)
+					continue
+				}
+				sawContext = true
+				if !strings.Contains(sp.Context, rd.Text[sp.Start:sp.End]) {
+					t.Errorf("doc %s: context %q does not contain the match", sn.DocID, sp.Context)
+				}
+			}
+		}
+	}
+	if !sawContext {
+		t.Fatal("no span carried a context window")
+	}
+
+	over := snippetsRequest{ContextRunes: maxSnippetContext + 1}
+	over.Terms = []string{term}
+	if status, body := postJSON(t, client, ts.URL+"/v1/snippets", over); status != http.StatusBadRequest {
+		t.Errorf("oversized context_runes: status %d, want 400; body %s", status, body)
 	}
 }

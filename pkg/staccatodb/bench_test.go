@@ -89,7 +89,7 @@ func benchCorpus(b *testing.B) (string, string) {
 	return benchDir, benchTerm
 }
 
-func benchSearch(b *testing.B, opts ...staccatodb.Option) {
+func benchSearch(b *testing.B, mkQuery func(term string) (*query.Query, error), opts ...staccatodb.Option) {
 	b.Helper()
 	dir, term := benchCorpus(b)
 	ctx := context.Background()
@@ -98,7 +98,7 @@ func benchSearch(b *testing.B, opts ...staccatodb.Option) {
 		b.Fatal(err)
 	}
 	defer db.Close()
-	q, err := query.Substring(term)
+	q, err := mkQuery(term)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -127,11 +127,32 @@ func benchSearch(b *testing.B, opts ...staccatodb.Option) {
 // BenchmarkSearchIndexed answers the selective query through the planner
 // and the inverted index.
 func BenchmarkSearchIndexed(b *testing.B) {
-	benchSearch(b)
+	benchSearch(b, query.Substring)
 }
 
 // BenchmarkSearchScan answers the same query with the index disabled —
 // the full decode-and-evaluate scan the planner exists to avoid.
 func BenchmarkSearchScan(b *testing.B) {
-	benchSearch(b, staccatodb.WithoutIndex())
+	benchSearch(b, query.Substring, staccatodb.WithoutIndex())
+}
+
+// fuzzyBenchQuery wraps the shared 7-rune benchmark term in a
+// distance-1 fuzzy leaf — long enough that both pigeonhole pieces clear
+// the gram size, so the planner prunes instead of degrading to a scan.
+func fuzzyBenchQuery(term string) (*query.Query, error) {
+	return query.Fuzzy(term, 1)
+}
+
+// BenchmarkFuzzySearchIndexed answers a distance-1 fuzzy query over the
+// same corpus through the fuzzy-gram pigeonhole plan: an OR over the
+// term's pieces, each an AND of that piece's grams.
+func BenchmarkFuzzySearchIndexed(b *testing.B) {
+	benchSearch(b, fuzzyBenchQuery)
+}
+
+// BenchmarkFuzzySearchScan answers the same fuzzy query with the index
+// disabled — every document runs the product-automaton DP against the
+// Levenshtein DFA.
+func BenchmarkFuzzySearchScan(b *testing.B) {
+	benchSearch(b, fuzzyBenchQuery, staccatodb.WithoutIndex())
 }

@@ -436,7 +436,10 @@ func (db *DB) Search(ctx context.Context, q *query.Query, opts query.SearchOptio
 // byte-identical across execution modes (scan, pruned-scan,
 // candidate-only) and worker counts, just like Search itself. A document
 // deleted between the search and the snippet fetch is skipped, matching
-// what a search started after the delete would report.
+// what a search started after the delete would report. When opts.Rescore
+// is set, the same transform the search ranked under is applied to each
+// fetched document before extraction, so reported reading probabilities
+// agree with the ranking.
 func (db *DB) Snippets(ctx context.Context, q *query.Query, opts query.SearchOptions, sopts query.SnippetOptions) ([]query.DocSnippets, query.SearchStats, error) {
 	results, stats, err := db.Search(ctx, q, opts)
 	if err != nil {
@@ -450,6 +453,9 @@ func (db *DB) Snippets(ctx context.Context, q *query.Query, opts query.SearchOpt
 		}
 		if err != nil {
 			return nil, stats, err
+		}
+		if opts.Rescore != nil {
+			doc = opts.Rescore(doc)
 		}
 		out = append(out, q.Snippets(doc, sopts))
 	}

@@ -222,8 +222,8 @@ func searchAll(t *testing.T, db *staccatodb.DB, queries []*query.Query) [][]quer
 }
 
 // randomQueries builds a deterministic battery of boolean queries over
-// the corpus truths: substring and keyword leaves, And/Or/Not, selective
-// and unselective terms, and sub-gram-size terms.
+// the corpus truths: substring, keyword, and fuzzy leaves, And/Or/Not,
+// selective and unselective terms, and sub-gram-size terms.
 func randomQueries(truths []string, seed int64, n int) []*query.Query {
 	rng := rand.New(rand.NewSource(seed))
 	pick := func() string {
@@ -237,8 +237,20 @@ func randomQueries(truths []string, seed int64, n int) []*query.Query {
 	}
 	leaf := func() *query.Query {
 		term := pick()
-		if rng.Intn(3) == 0 && !strings.ContainsRune(term, ' ') {
-			return mustQ(query.Keyword(term))
+		switch rng.Intn(4) {
+		case 0:
+			if !strings.ContainsRune(term, ' ') {
+				return mustQ(query.Keyword(term))
+			}
+		case 1:
+			// Distance capped so short terms stay at least somewhat
+			// selective; the planner's scan fallback still gets exercised
+			// by terms whose pieces undercut the gram size.
+			dist := 1 + rng.Intn(2)
+			if len(term) <= 3 {
+				dist = 1
+			}
+			return mustQ(query.Fuzzy(term, dist))
 		}
 		return mustQ(query.Substring(term))
 	}

@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
+	"github.com/paper-repo/staccato-go/pkg/fuzzy"
 	"github.com/paper-repo/staccato-go/pkg/query"
 	"github.com/paper-repo/staccato-go/pkg/staccatodb"
 )
@@ -41,6 +43,15 @@ func TestSearchModesByteIdenticalProperty(t *testing.T) {
 		truths[i] = c.Truth
 	}
 	queries := randomQueries(truths, 77, 25)
+	fuzzyLeaves := 0
+	for _, q := range queries {
+		if strings.Contains(q.String(), "fuzzy(") {
+			fuzzyLeaves++
+		}
+	}
+	if fuzzyLeaves == 0 {
+		t.Fatal("query battery has no fuzzy leaves; the property no longer covers them")
+	}
 
 	snips := query.SnippetOptions{MaxReadings: 2, MaxEnumerate: 512}
 	runPhase := func(phase string) {
@@ -213,4 +224,94 @@ func TestSearchModesByteIdenticalProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 	runPhase("after torn-tail rebuild")
+}
+
+// TestFuzzyLexiconRescoreByteIdenticalAcrossModes runs fuzzy queries
+// with lexicon rescoring enabled and requires the ranked output — and
+// the snippets riding on it — to be byte-identical across candidate-only
+// search, a full scan with the index disabled, and 1/2/8 workers. The
+// rescorer re-weights every document's readings toward dictionary
+// words, so any mode- or worker-dependence in where it is applied would
+// surface as a probability diff here.
+func TestFuzzyLexiconRescoreByteIdenticalAcrossModes(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "db")
+	cases := corpus(t, 40, 433)
+	db, err := staccatodb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest(ctx, docsOf(cases)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Dictionary: every token of every ground truth, so the rescorer has
+	// real in-lexicon words to boost in the retained readings.
+	var words []string
+	for _, c := range cases {
+		words = append(words, strings.Fields(c.Truth)...)
+	}
+	lex := fuzzy.NewLexicon(words)
+	if lex.Len() == 0 {
+		t.Fatal("empty lexicon from corpus truths")
+	}
+	opts := query.SearchOptions{Rescore: lex.Rescorer(fuzzy.DefaultBoost)}
+	snips := query.SnippetOptions{MaxReadings: 2, MaxEnumerate: 512}
+
+	var queries []*query.Query
+	for _, c := range cases[:6] {
+		toks := strings.Fields(c.Truth)
+		if len(toks) == 0 || len(toks[0]) < 4 {
+			continue
+		}
+		queries = append(queries, mustQ(query.Fuzzy(toks[0], 1)))
+	}
+	if len(queries) == 0 {
+		t.Fatal("no fuzzy probe queries built from corpus truths")
+	}
+
+	var baseline [][]query.Result
+	var baselineSnips [][]query.DocSnippets
+	matched := 0
+	for _, workers := range []int{1, 2, 8} {
+		for _, withIndex := range []bool{true, false} {
+			dbOpts := []staccatodb.Option{staccatodb.WithWorkers(workers)}
+			if !withIndex {
+				dbOpts = append(dbOpts, staccatodb.WithoutIndex())
+			}
+			db, err := staccatodb.Open(dir, dbOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				res, _, err := db.Search(ctx, q, opts)
+				if err != nil {
+					t.Fatalf("workers=%d index=%v query %s: %v", workers, withIndex, q, err)
+				}
+				sn, _, err := db.Snippets(ctx, q, opts, snips)
+				if err != nil {
+					t.Fatalf("workers=%d index=%v query %s snippets: %v", workers, withIndex, q, err)
+				}
+				matched += len(res)
+				if workers == 1 && withIndex {
+					baseline = append(baseline, res)
+					baselineSnips = append(baselineSnips, sn)
+					continue
+				}
+				if !reflect.DeepEqual(res, baseline[qi]) {
+					t.Fatalf("workers=%d index=%v query %s: rescored results differ from baseline\n got:  %+v\n want: %+v",
+						workers, withIndex, q, res, baseline[qi])
+				}
+				if !reflect.DeepEqual(sn, baselineSnips[qi]) {
+					t.Fatalf("workers=%d index=%v query %s: rescored snippets differ from baseline\n got:  %+v\n want: %+v",
+						workers, withIndex, q, sn, baselineSnips[qi])
+				}
+			}
+			db.Close()
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no fuzzy query matched any document; the rescore property is vacuous")
+	}
 }

@@ -71,7 +71,7 @@ echo "$disk_raw" | awk -v out="$disk_out_file" '
 echo "wrote $disk_out_file:"
 cat "$disk_out_file"
 
-index_raw=$(go test ./pkg/staccatodb -run '^$' -bench 'BenchmarkSearch' \
+index_raw=$(go test ./pkg/staccatodb -run '^$' -bench '^BenchmarkSearch(Indexed|Scan)$' \
 	-benchtime "$benchtime" -count 1)
 echo "$index_raw"
 

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench_fuzzy.sh — run the fuzzy-query benchmarks and emit
+# BENCH_fuzzy.json: a distance-1 fuzzy query over the shared 5000-doc
+# corpus answered through the fuzzy-gram pigeonhole plan (candidate-only)
+# versus a full per-document Levenshtein-DFA scan.
+#
+# Usage: scripts/bench_fuzzy.sh [fuzzy.json]
+#   BENCHTIME=20x scripts/bench_fuzzy.sh   # override iteration count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_fuzzy.json}"
+benchtime="${BENCHTIME:-10x}"
+
+raw=$(go test ./pkg/staccatodb -run '^$' -bench '^BenchmarkFuzzySearch(Indexed|Scan)$' \
+	-benchtime "$benchtime" -count 1)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out_file" '
+	# BenchmarkFuzzySearchIndexed-8  10  93491 ns/op ... 13.00 fetched_docs  4987 pruned_docs  5000 total_docs ...
+	function metric(name,   i) {
+		for (i = 3; i < NF; i++) {
+			if ($(i + 1) == name) return $i
+		}
+		return ""
+	}
+	/^BenchmarkFuzzySearchIndexed/ {
+		idx_ns = $3
+		idx_pruned = metric("pruned_docs")
+		idx_total = metric("total_docs")
+		idx_fetched = metric("fetched_docs")
+	}
+	/^BenchmarkFuzzySearchScan/ { scan_ns = $3 }
+	END {
+		if (idx_ns == "" || scan_ns == "" || idx_pruned == "" || idx_total == "" || idx_fetched == "") {
+			print "bench_fuzzy.sh: missing fuzzy benchmark in output" > "/dev/stderr"
+			exit 1
+		}
+		if (scan_ns + 0 <= idx_ns + 0) {
+			print "bench_fuzzy.sh: fuzzy indexed search is not faster than the scan" > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n" > out
+		printf "  \"benchmark\": \"FuzzySearch\",\n" > out
+		printf "  \"distance\": 1,\n" > out
+		printf "  \"corpus_docs\": %d,\n", idx_total > out
+		printf "  \"candidate_only_ns\": %s,\n", idx_ns > out
+		printf "  \"scan_ns\": %s,\n", scan_ns > out
+		printf "  \"docs_fetched\": %d,\n", idx_fetched > out
+		printf "  \"docs_pruned\": %d,\n", idx_pruned > out
+		printf "  \"candidate_speedup\": %.2f\n", scan_ns / idx_ns > out
+		printf "}\n" > out
+	}
+'
+echo "wrote $out_file:"
+cat "$out_file"
