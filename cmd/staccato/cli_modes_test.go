@@ -12,12 +12,12 @@ import (
 )
 
 // TestSearchVerboseModeStatsEndToEnd is the CLI acceptance scenario for
-// candidate-only execution: ingest → search -v on a temp-dir store. A
-// selective query must report mode=candidate-only with candidates
-// fetched ≪ corpus; -noindex must report mode=scan with identical
-// results; and after the index log is deleted, `staccato index` must
-// rebuild it and the same search must again run candidate-only with
-// byte-identical output.
+// candidate-restricted execution: ingest → search -v on a temp-dir
+// store. A selective query with a -top limit must report mode=top-k
+// (the bound-driven path Search auto-selects) with candidates fetched ≪
+// corpus; -noindex must report mode=scan with identical results; and
+// after the index log is deleted, `staccato index` must rebuild it and
+// the same search must again run top-k with byte-identical output.
 func TestSearchVerboseModeStatsEndToEnd(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "corpus")
 	icfg := ingestConfig{store: dir, docs: 40, length: 40, seed: 19, chunks: 5, k: 3, batch: 9}
@@ -38,17 +38,18 @@ func TestSearchVerboseModeStatsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("runSearch: %v\noutput:\n%s", err, out.String())
 	}
-	if rep.mode != query.ExecCandidateOnly {
-		t.Fatalf("selective indexed search ran mode=%q, want %q\noutput:\n%s",
-			rep.mode, query.ExecCandidateOnly, out.String())
+	if rep.mode != query.ExecTopK {
+		t.Fatalf("selective indexed search with -top ran mode=%q, want %q\noutput:\n%s",
+			rep.mode, query.ExecTopK, out.String())
 	}
 	if rep.fetched == 0 || rep.fetched >= icfg.docs/2 {
 		t.Fatalf("candidates fetched = %d, want selective (0 < fetched ≪ %d)", rep.fetched, icfg.docs)
 	}
-	if rep.fetched+rep.pruned != icfg.docs {
-		t.Fatalf("fetched %d + pruned %d != corpus %d", rep.fetched, rep.pruned, icfg.docs)
+	if rep.fetched+rep.skipped+rep.pruned != icfg.docs {
+		t.Fatalf("fetched %d + skipped %d + pruned %d != corpus %d",
+			rep.fetched, rep.skipped, rep.pruned, icfg.docs)
 	}
-	for _, want := range []string{"mode=candidate-only", "candidates fetched:", "plan:"} {
+	for _, want := range []string{"mode=top-k", "early_stopped=", "bounds_skipped=", "candidates fetched:", "plan:"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-v output missing %q:\n%s", want, out.String())
 		}
@@ -90,7 +91,7 @@ func TestSearchVerboseModeStatsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep2.mode != query.ExecCandidateOnly || !reflect.DeepEqual(rep2, rep) {
+	if rep2.mode != query.ExecTopK || !reflect.DeepEqual(rep2, rep) {
 		t.Fatalf("post-rebuild search differs:\n before %+v\n after  %+v\noutput:\n%s", rep, rep2, out2.String())
 	}
 
@@ -100,7 +101,7 @@ func TestSearchVerboseModeStatsEndToEnd(t *testing.T) {
 	if err := searchMain(&flagOut, []string{"-store", dir, "-v", "-top", "10", scfg.terms[0]}); err != nil {
 		t.Fatalf("searchMain: %v", err)
 	}
-	if !strings.Contains(flagOut.String(), "mode=candidate-only") {
+	if !strings.Contains(flagOut.String(), "mode=top-k") {
 		t.Errorf("searchMain -v output missing mode line:\n%s", flagOut.String())
 	}
 }

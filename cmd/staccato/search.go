@@ -46,13 +46,15 @@ type searchConfig struct {
 
 // searchReport captures the deterministic part of a search run.
 type searchReport struct {
-	query   string
-	scanned int
-	pruned  int
-	mode    query.ExecMode
-	fetched int
-	results []query.Result
-	snips   []query.DocSnippets
+	query        string
+	scanned      int
+	pruned       int
+	mode         query.ExecMode
+	fetched      int
+	skipped      int
+	earlyStopped bool
+	results      []query.Result
+	snips        []query.DocSnippets
 }
 
 func searchMain(w io.Writer, args []string) error {
@@ -301,6 +303,8 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 	rep.pruned = stats.DocsPruned
 	rep.mode = stats.Mode
 	rep.fetched = stats.CandidatesFetched
+	rep.skipped = stats.BoundsSkipped
+	rep.earlyStopped = stats.EarlyStopped
 	elapsed := time.Since(searchStart)
 	fmt.Fprintf(w, "engine: elapsed=%v", elapsed.Round(time.Microsecond))
 	if elapsed > 0 {
@@ -311,6 +315,10 @@ func runSearch(w io.Writer, cfg searchConfig) (searchReport, error) {
 		fmt.Fprintf(w, "planner: mode=%s, %d evaluated, %d pruned of %d docs (candidates fetched: %d, index used: %v, %d grams)\n",
 			stats.Mode, stats.DocsScanned, stats.DocsPruned, stats.DocsTotal,
 			stats.CandidatesFetched, stats.IndexUsed, stats.PlanGrams)
+		if stats.Mode == query.ExecTopK {
+			fmt.Fprintf(w, "top-k: early_stopped=%v, bounds_skipped=%d, candidates_deleted=%d\n",
+				stats.EarlyStopped, stats.BoundsSkipped, stats.CandidatesDeleted)
+		}
 	}
 
 	if len(rep.results) == 0 {

@@ -22,7 +22,7 @@ import (
 
 // Paths gates the analyzer to the packages whose outputs must be
 // bit-deterministic. Tests may override it to point at fixtures.
-var Paths = []string{"pkg/query", "pkg/index", "pkg/fst", "pkg/fuzzy", "internal/core"}
+var Paths = []string{"pkg/query", "pkg/index", "pkg/fst", "pkg/fuzzy", "pkg/staccatodb", "internal/core"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "mapiter",

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 )
@@ -26,20 +27,29 @@ import (
 //	          | uvarint nDels | nDels × (uvarint len | id)
 //	          | uvarint nAdds | nAdds × (uvarint len | id | overflow byte
 //	                                     | uvarint nGrams
-//	                                     | nGrams × (uvarint len | gram))
+//	                                     | nGrams × (uvarint len | gram
+//	                                                 | float64le bound))
 //
 // (ops, bytes) is the diskstore CommitState after the commit the record
-// mirrors. The index is derived data, so recovery is deliberately blunt:
-// Load stops at the first damaged frame, truncates it away, and reports
-// the state of the last intact commit — if that state no longer matches
-// the store's, the caller rebuilds from a scan. Nothing in this file can
-// lose documents; at worst it loses the right to skip a rebuild.
+// mirrors. The v2 format bump added the fixed 8-byte little-endian
+// IEEE-754 probability upper bound after each gram; v1 files (magic
+// "staccato-index v1") fail header validation with ErrMismatch, which
+// callers already answer with a transparent rebuild from a store scan —
+// exactly how a stale index is handled. Decoding sanitizes bounds into
+// [0, 1] (NaN, negative, or >1 become the always-admissible 1), so a
+// decoded commit is canonical: re-encoding it reproduces it bit for bit.
+//
+// The index is derived data, so recovery is deliberately blunt: Load
+// stops at the first damaged frame, truncates it away, and reports the
+// state of the last intact commit — if that state no longer matches the
+// store's, the caller rebuilds from a scan. Nothing in this file can lose
+// documents; at worst it loses the right to skip a rebuild.
 
 // FileName is the index log's name inside a store directory.
 const FileName = "INDEX"
 
 const (
-	fileMagic      = "staccato-index v1"
+	fileMagic      = "staccato-index v2"
 	recCommit      = byte(1)
 	frameHeader    = 8
 	maxPayloadSize = 1 << 30
@@ -263,8 +273,9 @@ func encodeCommit(adds []Entry, dels []string, st State) []byte {
 			buf = append(buf, 0)
 		}
 		buf = binary.AppendUvarint(buf, uint64(len(e.Grams)))
-		for _, g := range e.Grams {
+		for i, g := range e.Grams {
 			buf = appendString(buf, g)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Bound(i)))
 		}
 	}
 	return buf
@@ -323,10 +334,18 @@ func parseCommit(p []byte) (adds []Entry, dels []string, st State, err error) {
 		for j := uint64(0); j < nGrams; j++ {
 			var g string
 			g, p, ok = takeString(p)
-			if !ok {
+			if !ok || len(p) < 8 {
 				return bad()
 			}
+			b := math.Float64frombits(binary.LittleEndian.Uint64(p))
+			p = p[8:]
+			// Sanitize into the admissible range so decoded commits are
+			// canonical (NaN or out-of-range bounds become the safe 1).
+			if !(b >= 0) || b > 1 {
+				b = 1
+			}
 			e.Grams = append(e.Grams, g)
+			e.Bounds = append(e.Bounds, b)
 		}
 		adds = append(adds, e)
 	}

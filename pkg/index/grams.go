@@ -16,6 +16,12 @@
 // of that document contains the term, and its match probability is exactly
 // zero.
 //
+// Alongside each gram the DP accumulates an admissible probability upper
+// bound: the probability that any retained reading contains that gram is
+// at most the stored bound (see DocGramBounds). Bounds ride the posting
+// lists and let the engine process top-k candidates best-bound-first and
+// stop early once the running k-th result beats every remaining bound.
+//
 // The index lives in memory as gram → posting list and persists to a
 // single crc-framed log file (see file.go) inside the store directory,
 // maintained transactionally with diskstore commits and rebuilt from a
@@ -48,9 +54,23 @@ type Entry struct {
 	// retained reading. Empty (with Overflow false) means no reading is as
 	// long as q runes.
 	Grams []string
+	// Bounds is aligned with Grams: Bounds[i] is an admissible upper bound
+	// on the probability that any retained reading contains Grams[i], in
+	// [0, 1]. A nil or short Bounds (legacy entries) is read as all-ones,
+	// which is always admissible.
+	Bounds []float64
 	// Overflow marks a document whose gram extraction exceeded its budget;
 	// the index treats it as a candidate for every query.
 	Overflow bool
+}
+
+// Bound returns the upper bound for gram position i, defaulting to 1 when
+// the entry carries no bound there (the always-admissible fallback).
+func (e *Entry) Bound(i int) float64 {
+	if i < len(e.Bounds) {
+		return e.Bounds[i]
+	}
+	return 1
 }
 
 // EntryFor extracts doc's gram set at gram size q. Overflow is reported in
@@ -58,8 +78,8 @@ type Entry struct {
 // the document as always matching — is the index's to make, not the
 // caller's.
 func EntryFor(doc *staccato.Doc, q int) Entry {
-	grams, ok := DocGrams(doc, q)
-	return Entry{ID: doc.ID, Grams: grams, Overflow: !ok}
+	grams, bounds, ok := DocGramBounds(doc, q)
+	return Entry{ID: doc.ID, Grams: grams, Bounds: bounds, Overflow: !ok}
 }
 
 // DocGrams returns the sorted set of q-grams (in runes) that occur in any
@@ -72,44 +92,92 @@ func EntryFor(doc *staccato.Doc, q int) Entry {
 // at least one retained reading, because each emitted window is a real
 // reachable suffix concatenated with a real alternative.
 func DocGrams(doc *staccato.Doc, q int) ([]string, bool) {
+	grams, _, ok := DocGramBounds(doc, q)
+	return grams, ok
+}
+
+// DocGramBounds is DocGrams plus, per gram, an admissible upper bound on
+// the probability that a reading drawn from doc's distribution contains
+// that gram.
+//
+// The bound is a union bound over disjoint boundary events. The DP
+// carries, for every reachable (≤ q-1)-rune suffix of a reading prefix,
+// the total probability mass of the prefixes ending in it. For a fixed
+// chunk, the events "the prefix ends in suffix tail AND this chunk reads
+// alternative alt" are pairwise disjoint and have probability
+// mass(tail)·P(alt). Every occurrence of a gram in a reading ends inside
+// exactly one chunk and is contained in that chunk's window tail+alt.Text,
+// so summing mass(tail)·P(alt) over every event whose window contains the
+// gram (counting each event once per gram, however many times the gram
+// repeats inside one window) over-counts the probability that the gram
+// occurs at all. Bounds are clamped to [0, 1].
+//
+// The returned bound slice is aligned with the gram slice.
+func DocGramBounds(doc *staccato.Doc, q int) ([]string, []float64, bool) {
 	if q < 1 {
-		return nil, false
+		return nil, nil, false
 	}
-	grams := make(map[string]struct{})
-	// suffixes holds every distinct last-(≤ q-1)-rune string of a reading
-	// prefix ending at the previous chunk boundary.
-	suffixes := map[string]struct{}{"": {}}
+	mass := make(map[string]float64)
+	// suffixes maps every distinct last-(≤ q-1)-rune string of a reading
+	// prefix ending at the previous chunk boundary to the total probability
+	// of the prefixes ending in it.
+	suffixes := map[string]float64{"": 1}
+	window := make(map[string]struct{}, 8) // per-event gram dedup, reused
 	for _, ch := range doc.Chunks {
 		alts := ch.Alts
 		if len(alts) == 0 {
 			// A chunk with no retained alternatives encodes no readings at
-			// all; treating it as a single empty alternative keeps the DP
-			// running and only ever adds grams, never drops them.
+			// all; treating it as a single empty zero-probability alternative
+			// keeps the DP running and only ever adds grams (at bound 0),
+			// never drops them.
 			alts = []staccato.Alt{{}}
 		}
-		next := make(map[string]struct{}, len(suffixes))
-		for tail := range suffixes {
+		// Extract and sort the frontier so the float accumulations below
+		// run in a deterministic order (map iteration is randomized).
+		tails := make([]string, 0, len(suffixes))
+		for t := range suffixes {
+			tails = append(tails, t)
+		}
+		sort.Strings(tails)
+		next := make(map[string]float64, len(suffixes))
+		for _, tail := range tails {
+			tailMass := suffixes[tail]
 			for _, alt := range alts {
-				window := []rune(tail + alt.Text)
-				for i := 0; i+q <= len(window); i++ {
-					grams[string(window[i:i+q])] = struct{}{}
+				w := tailMass * alt.Prob
+				runes := []rune(tail + alt.Text)
+				clear(window)
+				for i := 0; i+q <= len(runes); i++ {
+					g := string(runes[i : i+q])
+					if _, dup := window[g]; dup {
+						continue
+					}
+					window[g] = struct{}{}
+					mass[g] += w
 				}
-				keep := len(window)
+				keep := len(runes)
 				if keep > q-1 {
 					keep = q - 1
 				}
-				next[string(window[len(window)-keep:])] = struct{}{}
+				next[string(runes[len(runes)-keep:])] += w
 			}
 		}
 		if len(next) > maxSuffixes {
-			return nil, false
+			return nil, nil, false
 		}
 		suffixes = next
 	}
-	out := make([]string, 0, len(grams))
-	for g := range grams {
-		out = append(out, g)
+	grams := make([]string, 0, len(mass))
+	for g := range mass {
+		grams = append(grams, g)
 	}
-	sort.Strings(out)
-	return out, true
+	sort.Strings(grams)
+	bounds := make([]float64, len(grams))
+	for i, g := range grams {
+		b := mass[g]
+		if b > 1 {
+			b = 1
+		}
+		bounds[i] = b
+	}
+	return grams, bounds, true
 }

@@ -1,7 +1,9 @@
 package index
 
 import (
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/paper-repo/staccato-go/pkg/staccato"
@@ -23,6 +25,9 @@ type Index struct {
 	ord  map[string]uint32 // live doc ID -> ordinal
 	ids  []string          // ordinal -> doc ID; "" marks a dead ordinal
 	post map[string][]uint32
+	// bnd is aligned with post: bnd[g][i] is the probability upper bound
+	// for the document at post[g][i] (see Entry.Bounds).
+	bnd map[string][]float64
 	// always holds ordinals of overflow documents, which are candidates
 	// for every query.
 	always map[uint32]struct{}
@@ -38,6 +43,7 @@ func New(q int) *Index {
 		q:      q,
 		ord:    make(map[string]uint32),
 		post:   make(map[string][]uint32),
+		bnd:    make(map[string][]float64),
 		always: make(map[uint32]struct{}),
 	}
 }
@@ -78,8 +84,9 @@ func (ix *Index) Apply(adds []Entry, dels []string) {
 			ix.always[o] = struct{}{}
 			continue
 		}
-		for _, g := range e.Grams {
+		for i, g := range e.Grams {
 			ix.post[g] = append(ix.post[g], o)
+			ix.bnd[g] = append(ix.bnd[g], e.Bound(i))
 		}
 	}
 }
@@ -102,67 +109,110 @@ func (ix *Index) kill(id string) {
 // live document absent from the returned set provably has no retained
 // reading containing all of grams.
 func (ix *Index) Candidates(grams []string) ([]string, bool) {
+	ids, _, ok := ix.CandidatesWithBounds(grams)
+	return ids, ok
+}
+
+// CandidatesWithBounds is Candidates plus, aligned with the returned IDs,
+// an admissible upper bound on each candidate's probability of containing
+// all of grams: the min over grams of the per-(doc, gram) bound. Overflow
+// documents carry the vacuous bound 1, as does any posting recorded
+// before bounds existed.
+func (ix *Index) CandidatesWithBounds(grams []string) ([]string, []float64, bool) {
 	if len(grams) == 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
 	// Intersect posting lists rarest-first so the working set only
-	// shrinks.
-	lists := make([][]uint32, len(grams))
+	// shrinks, carrying the min bound through each merge.
+	lists := make([]postings, len(grams))
 	for i, g := range grams {
-		lists[i] = ix.post[g]
+		lists[i] = postings{ords: ix.post[g], bnds: ix.bnd[g]}
 	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i].ords) < len(lists[j].ords) })
 
 	acc := lists[0]
 	for _, next := range lists[1:] {
-		if len(acc) == 0 {
+		if len(acc.ords) == 0 {
 			break
 		}
 		acc = intersect(acc, next)
 	}
 
-	out := make([]string, 0, len(acc)+len(ix.always))
-	for _, o := range acc {
+	type cand struct {
+		id string
+		b  float64
+	}
+	out := make([]cand, 0, len(acc.ords)+len(ix.always))
+	for k, o := range acc.ords {
 		if id := ix.ids[o]; id != "" {
-			out = append(out, id)
+			b := 1.0
+			if k < len(acc.bnds) {
+				b = acc.bnds[k]
+			}
+			out = append(out, cand{id, b})
 		}
 	}
 	for o := range ix.always {
 		if id := ix.ids[o]; id != "" {
-			out = append(out, id)
+			out = append(out, cand{id, 1})
 		}
 	}
-	sort.Strings(out)
-	return dedupSorted(out), true
+	slices.SortFunc(out, func(a, b cand) int { return strings.Compare(a.id, b.id) })
+	ids := make([]string, 0, len(out))
+	bnds := make([]float64, 0, len(out))
+	for i, c := range out {
+		if i > 0 && c.id == out[i-1].id {
+			// Duplicate IDs cannot arise from one live ordinal, but keep the
+			// historical dedup and take the tighter bound if they ever do.
+			if c.b < bnds[len(bnds)-1] {
+				bnds[len(bnds)-1] = c.b
+			}
+			continue
+		}
+		ids = append(ids, c.id)
+		bnds = append(bnds, c.b)
+	}
+	return ids, bnds, true
 }
 
-// intersect merges two ascending ordinal slices.
-func intersect(a, b []uint32) []uint32 {
-	out := a[:0:0] // fresh backing array; a may be a shared posting list
+// postings pairs one gram's ordinal list with its aligned bounds.
+type postings struct {
+	ords []uint32
+	bnds []float64
+}
+
+// intersect merges two ascending ordinal lists, keeping the min bound at
+// each shared ordinal. Missing bounds read as 1.
+func intersect(a, b postings) postings {
+	out := postings{
+		ords: a.ords[:0:0], // fresh backing; a may be a shared posting list
+		bnds: nil,
+	}
+	bound := func(p postings, i int) float64 {
+		if i < len(p.bnds) {
+			return p.bnds[i]
+		}
+		return 1
+	}
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
+	for i < len(a.ords) && j < len(b.ords) {
 		switch {
-		case a[i] < b[j]:
+		case a.ords[i] < b.ords[j]:
 			i++
-		case a[i] > b[j]:
+		case a.ords[i] > b.ords[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			ba, bb := bound(a, i), bound(b, j)
+			if bb < ba {
+				ba = bb
+			}
+			out.ords = append(out.ords, a.ords[i])
+			out.bnds = append(out.bnds, ba)
 			i++
 			j++
-		}
-	}
-	return out
-}
-
-func dedupSorted(s []string) []string {
-	out := s[:0]
-	for i, v := range s {
-		if i == 0 || v != s[i-1] {
-			out = append(out, v)
 		}
 	}
 	return out
@@ -229,20 +279,27 @@ func (ix *Index) Entries() []Entry {
 	}
 	sort.Strings(grams)
 	for _, g := range grams {
-		for _, o := range ix.post[g] {
+		bnds := ix.bnd[g]
+		for k, o := range ix.post[g] {
 			id := ix.ids[o]
 			if id == "" || ix.ord[id] != o {
 				continue
 			}
-			byID[id].Grams = append(byID[id].Grams, g)
+			b := 1.0
+			if k < len(bnds) {
+				b = bnds[k]
+			}
+			e := byID[id]
+			// The sorted-gram walk appends each entry's grams in sorted
+			// order already; sorting afterwards would desync Bounds.
+			e.Grams = append(e.Grams, g)
+			e.Bounds = append(e.Bounds, b)
 		}
 	}
 	sort.Strings(ids)
 	out := make([]Entry, len(ids))
 	for i, id := range ids {
-		e := byID[id]
-		sort.Strings(e.Grams)
-		out[i] = *e
+		out[i] = *byID[id]
 	}
 	return out
 }

@@ -115,8 +115,13 @@ func TestSearchCandidatesByteIdenticalToSearch(t *testing.T) {
 }
 
 // TestSearchCandidatesSkipsDeletedCandidate: a candidate deleted between
-// planning and execution is skipped — reported in CandidatesFetched as
-// absent, never an error — matching a scan ordered after the delete.
+// planning and execution is skipped — never an error — matching a scan
+// ordered after the delete. The stats must keep the fetch attempt and
+// the evaluation apart: the deleted candidate is still fetched (the
+// not-found answer IS a store fetch) but not scanned, and the gap is
+// reported in CandidatesDeleted. Regression test for the bug that
+// assigned one counter to both fields, which made a delete between plan
+// and fetch invisible in the stats.
 func TestSearchCandidatesSkipsDeletedCandidate(t *testing.T) {
 	ctx := context.Background()
 	st, ix, _ := candidateCorpus(t, 20, 73)
@@ -149,9 +154,16 @@ func TestSearchCandidatesSkipsDeletedCandidate(t *testing.T) {
 				t.Fatalf("deleted doc %s still in results %+v", ids[7], res)
 			}
 		}
-		if stats.CandidatesFetched != cand.Len()-1 {
-			t.Fatalf("CandidatesFetched = %d, want %d (one candidate deleted)",
-				stats.CandidatesFetched, cand.Len()-1)
+		if stats.CandidatesFetched != cand.Len() {
+			t.Fatalf("CandidatesFetched = %d, want %d (every candidate is a fetch attempt)",
+				stats.CandidatesFetched, cand.Len())
+		}
+		if stats.DocsScanned != cand.Len()-1 {
+			t.Fatalf("DocsScanned = %d, want %d (the deleted candidate is not evaluated)",
+				stats.DocsScanned, cand.Len()-1)
+		}
+		if stats.CandidatesDeleted != 1 {
+			t.Fatalf("CandidatesDeleted = %d, want 1", stats.CandidatesDeleted)
 		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/paper-repo/staccato-go/pkg/staccato"
@@ -35,6 +37,12 @@ const (
 	// zero-result synthesis — so cost scales with the candidate count,
 	// not the corpus size.
 	ExecCandidateOnly ExecMode = "candidate-only"
+	// ExecTopK is SearchTopK's path: candidates are processed
+	// best-bound-first in growing rounds and the run stops as soon as the
+	// running k-th result provably beats every remaining bound, so cost
+	// scales with how discriminating the bounds are, not the candidate
+	// count.
+	ExecTopK ExecMode = "top-k"
 )
 
 // SearchStats reports how a query executed: how much of the corpus the
@@ -59,11 +67,23 @@ type SearchStats struct {
 	// without being evaluated. Filled by the caller in candidate-only
 	// mode, like DocsTotal.
 	DocsPruned int `json:"docs_pruned"`
-	// CandidatesFetched is the number of candidate documents fetched
-	// from the store in candidate-only mode (zero in the scan modes).
-	// It can run below the candidate set's size when a candidate was
-	// deleted between planning and fetching.
+	// CandidatesFetched is the number of store fetches the candidate
+	// modes attempted (zero in the scan modes) — deleted candidates that
+	// came back not-found included, so it can exceed DocsScanned. It runs
+	// below the candidate set's size only when top-k early termination
+	// skipped the rest (see BoundsSkipped).
 	CandidatesFetched int `json:"candidates_fetched"`
+	// CandidatesDeleted is how many fetched candidates turned out deleted
+	// between planning and fetching: CandidatesFetched - DocsScanned.
+	CandidatesDeleted int `json:"candidates_deleted"`
+	// BoundsSkipped is the number of candidates top-k execution never
+	// fetched because their probability upper bound could not affect the
+	// result — cut up front by MinProb or left behind by an early stop.
+	// Zero in every other mode.
+	BoundsSkipped int `json:"bounds_skipped"`
+	// EarlyStopped reports that a top-k run proved the remaining bounds
+	// beaten and stopped before exhausting the candidate set.
+	EarlyStopped bool `json:"early_stopped"`
 	// IndexUsed reports whether a candidate set restricted the run at all.
 	IndexUsed bool `json:"index_used"`
 	// PlanGrams is the number of distinct grams the planner consulted.
@@ -165,12 +185,15 @@ func (e *Engine) Search(ctx context.Context, q *Query, opts SearchOptions) ([]Re
 // ascending DocID) and applies the TopN cut — the one ranking both
 // Search paths share, which is what makes their outputs byte-identical.
 func rankResults(out []Result, topN int) []Result {
-	sort.Slice(out, func(i, j int) bool {
+	slices.SortFunc(out, func(a, b Result) int {
 		//lint:allow floateq sort comparators need exact comparison — an epsilon tie-break is not a strict weak order and would make the ranking itself nondeterministic
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
+		if a.Prob != b.Prob {
+			if a.Prob > b.Prob {
+				return -1
+			}
+			return 1
 		}
-		return out[i].DocID < out[j].DocID
+		return strings.Compare(a.DocID, b.DocID)
 	})
 	if topN > 0 && len(out) > topN {
 		out = out[:topN]
@@ -209,15 +232,133 @@ func (e *Engine) SearchCandidates(ctx context.Context, q *Query, cand *Candidate
 		return nil, errors.New("query: SearchCandidates requires a non-nil candidate set; use Search for unrestricted runs")
 	}
 	ids := cand.IDs() // ascending: deterministic batching, near-sequential disk reads
+	out, fetched, evaluated, err := e.evalCandidates(ctx, q, ids, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		opts.Stats.Mode = ExecCandidateOnly
+		opts.Stats.DocsScanned = evaluated
+		opts.Stats.CandidatesFetched = fetched
+		opts.Stats.CandidatesDeleted = fetched - evaluated
+	}
+	return rankResults(out, opts.TopN), nil
+}
+
+// boundSlack widens stored bounds by one part in 10⁹ wherever the engine
+// compares an evaluated probability against one. The bound DP and the
+// evaluation DP sum the same products in different association orders, so
+// an exact-in-real-arithmetic "P ≤ bound" can come out a few ulps the
+// wrong way in floats; comparing against bound*boundSlack keeps every
+// skip decision provably safe without giving up meaningful pruning.
+const boundSlack = 1 + 1e-9
+
+// SearchTopK evaluates q against the members of cand best-bound-first and
+// stops as soon as the running opts.TopN-th probability strictly beats
+// every remaining candidate's (slack-widened) upper bound — at which
+// point no remaining candidate can enter the top N or win a tie (ties
+// break toward ascending DocID, and a tie would require probability equal
+// to the k-th, which the strict inequality excludes). Results are
+// byte-identical to Search and SearchCandidates with the same options, at
+// any worker count: candidates are processed in rounds of fixed,
+// worker-independent sizes (candidateBatchSize, doubling each round), so
+// the stats are deterministic too.
+//
+// cand must honor the no-false-negative contract AND its bounds must be
+// admissible (never below the true match probability of stored
+// documents); both come free from Plan.Candidates over a
+// BoundedPostingSource. A set without bound information still returns
+// correct results — every bound reads as 1 — it just never stops early.
+//
+// opts.TopN must be positive; opts.Rescore must be nil, because bounds
+// describe the stored documents and rescoring moves probability mass they
+// do not account for (callers fall back to SearchCandidates). Candidates
+// whose widened bound falls below opts.MinProb are skipped without a
+// fetch, like the early-stopped tail; both are counted in
+// Stats.BoundsSkipped.
+func (e *Engine) SearchTopK(ctx context.Context, q *Query, cand *CandidateSet, opts SearchOptions) ([]Result, error) {
+	if q == nil || q.expr == nil {
+		return nil, errors.New("query: SearchTopK requires a compiled, non-nil Query")
+	}
+	if cand == nil {
+		return nil, errors.New("query: SearchTopK requires a non-nil candidate set; use Search for unrestricted runs")
+	}
+	if opts.TopN <= 0 {
+		return nil, errors.New("query: SearchTopK requires TopN > 0; use SearchCandidates to rank everything")
+	}
+	if opts.Rescore != nil {
+		return nil, errors.New("query: SearchTopK cannot rescore: index bounds do not cover rescored probabilities; use SearchCandidates")
+	}
+	ranked := cand.Ranked()
+	// Candidates whose bound already sits below MinProb cannot produce a
+	// reportable result; ranked is bound-descending, so they form a tail.
+	usable := len(ranked)
+	skipped := 0
+	if opts.MinProb > 0 {
+		usable = sort.Search(len(ranked), func(i int) bool {
+			return ranked[i].Bound*boundSlack < opts.MinProb
+		})
+		skipped = len(ranked) - usable
+	}
+	var (
+		out                []Result
+		fetched, evaluated int
+		earlyStopped       bool
+	)
+	next := 0
+	roundSize := candidateBatchSize
+	for next < usable {
+		end := next + roundSize
+		if end > usable {
+			end = usable
+		}
+		ids := make([]string, 0, end-next)
+		for _, c := range ranked[next:end] {
+			ids = append(ids, c.ID)
+		}
+		sort.Strings(ids) // near-sequential reads; ranking is fetch-order-independent
+		res, f, ev, err := e.evalCandidates(ctx, q, ids, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+		fetched += f
+		evaluated += ev
+		next = end
+		roundSize *= 2
+		// Keeping only the running top N between rounds is lossless: the
+		// ranking is a total order, so the global top N is the top N of the
+		// per-round top-N union.
+		out = rankResults(out, opts.TopN)
+		if next < usable && len(out) == opts.TopN && out[opts.TopN-1].Prob > ranked[next].Bound*boundSlack {
+			earlyStopped = true
+			skipped += usable - next
+			break
+		}
+	}
+	if opts.Stats != nil {
+		opts.Stats.Mode = ExecTopK
+		opts.Stats.DocsScanned = evaluated
+		opts.Stats.CandidatesFetched = fetched
+		opts.Stats.CandidatesDeleted = fetched - evaluated
+		opts.Stats.BoundsSkipped = skipped
+		opts.Stats.EarlyStopped = earlyStopped
+	}
+	return rankResults(out, opts.TopN), nil
+}
+
+// evalCandidates fetches and evaluates exactly the documents named by
+// ids, fanning candidateBatchSize batches across the worker pool, and
+// returns the unranked matches that survive the MinProb filter along
+// with the fetch-attempt and evaluation counts. A nil slot from the
+// store (deleted between planning and fetching) counts as fetched but
+// not evaluated.
+func (e *Engine) evalCandidates(ctx context.Context, q *Query, ids []string, opts SearchOptions) (out []Result, fetched, evaluated int, err error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	getter, batched := e.st.(store.BatchGetter)
-	var (
-		mu      sync.Mutex
-		out     []Result
-		fetched int
-	)
+	var mu sync.Mutex
 	var firstErr error
 	var errOnce sync.Once
 	fail := func(err error) {
@@ -237,13 +378,14 @@ func (e *Engine) SearchCandidates(ctx context.Context, q *Query, cand *Candidate
 		go func() {
 			defer wg.Done()
 			var local []Result
-			evaluated := 0
+			localFetched, localEval := 0, 0
 			for batch := range batches {
 				docs, err := e.fetchCandidates(ctx, getter, batched, batch)
 				if err != nil {
 					fail(err)
 					return
 				}
+				localFetched += len(docs)
 				for _, doc := range docs {
 					if ctx.Err() != nil {
 						return // bound cancellation latency to one evaluation
@@ -251,7 +393,7 @@ func (e *Engine) SearchCandidates(ctx context.Context, q *Query, cand *Candidate
 					if doc == nil {
 						continue // deleted between planning and fetching
 					}
-					evaluated++
+					localEval++
 					if opts.Rescore != nil {
 						doc = opts.Rescore(doc)
 					}
@@ -264,7 +406,8 @@ func (e *Engine) SearchCandidates(ctx context.Context, q *Query, cand *Candidate
 			}
 			mu.Lock()
 			out = append(out, local...)
-			fetched += evaluated
+			fetched += localFetched
+			evaluated += localEval
 			mu.Unlock()
 		}()
 	}
@@ -283,17 +426,12 @@ feed:
 	close(batches)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, 0, 0, firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	if opts.Stats != nil {
-		opts.Stats.Mode = ExecCandidateOnly
-		opts.Stats.DocsScanned = fetched
-		opts.Stats.CandidatesFetched = fetched
-	}
-	return rankResults(out, opts.TopN), nil
+	return out, fetched, evaluated, nil
 }
 
 // fetchCandidates reads one batch of candidate documents, through the

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -32,8 +33,16 @@ import (
 // outside the set are guaranteed non-matches. A nil *CandidateSet means
 // "no pruning information: every document is a candidate", which is why
 // the methods below are defined on the nil receiver.
+//
+// A set built from a bounds-carrying posting source additionally holds,
+// per candidate, an admissible upper bound on that document's match
+// probability (see Bound); sets without bound information answer 1 for
+// every candidate, which is always admissible.
 type CandidateSet struct {
 	ids map[string]struct{}
+	// bounds, when non-nil, maps each candidate to an upper bound on its
+	// match probability in [0, 1]. nil means no bound information.
+	bounds map[string]float64
 }
 
 // NewCandidateSet builds a set from ids.
@@ -76,14 +85,75 @@ func (c *CandidateSet) IDs() []string {
 	return out
 }
 
+// Bound returns an admissible upper bound on id's match probability: the
+// recorded bound when the set carries one, else the vacuous 1. The nil
+// set admits everything at bound 1.
+func (c *CandidateSet) Bound(id string) float64 {
+	if c == nil || c.bounds == nil {
+		return 1
+	}
+	if b, ok := c.bounds[id]; ok {
+		return b
+	}
+	return 1
+}
+
+// Bounded reports whether the set carries per-candidate probability
+// bounds (possibly vacuous ones) rather than defaulting everything to 1.
+func (c *CandidateSet) Bounded() bool { return c != nil && c.bounds != nil }
+
+// BoundedCandidate pairs a candidate document ID with its probability
+// upper bound.
+type BoundedCandidate struct {
+	ID    string
+	Bound float64
+}
+
+// Ranked returns the candidates ordered best-bound-first (descending
+// bound, ties by ascending ID — the processing order the top-k engine
+// path wants). Sets without bounds rank everything at 1, i.e. in plain
+// ascending-ID order. Nil for the nil set.
+func (c *CandidateSet) Ranked() []BoundedCandidate {
+	if c == nil {
+		return nil
+	}
+	out := make([]BoundedCandidate, 0, len(c.ids))
+	for id := range c.ids {
+		out = append(out, BoundedCandidate{ID: id, Bound: c.Bound(id)})
+	}
+	slices.SortFunc(out, func(a, b BoundedCandidate) int {
+		//lint:allow floateq exact equality picks the deterministic ID tiebreak; either branch is admissible
+		if a.Bound != b.Bound {
+			if a.Bound > b.Bound {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.ID, b.ID)
+	})
+	return out
+}
+
 func intersectSets(a, b *CandidateSet) *CandidateSet {
 	if a.Len() > b.Len() {
 		a, b = b, a
 	}
 	out := &CandidateSet{ids: make(map[string]struct{}, a.Len())}
+	if a.bounds != nil || b.bounds != nil {
+		out.bounds = make(map[string]float64, a.Len())
+	}
 	for id := range a.ids {
 		if b.Has(id) {
 			out.ids[id] = struct{}{}
+			if out.bounds != nil {
+				// A conjunction's match is contained in each conjunct's, so
+				// the min of the two bounds is admissible.
+				ba, bb := a.Bound(id), b.Bound(id)
+				if bb < ba {
+					ba = bb
+				}
+				out.bounds[id] = ba
+			}
 		}
 	}
 	return out
@@ -99,6 +169,17 @@ type PostingSource interface {
 	// in grams. ok=false means the source cannot answer (for example,
 	// grams is empty) and the caller must not prune.
 	Candidates(grams []string) (ids []string, ok bool)
+}
+
+// BoundedPostingSource is a PostingSource that can also report, per
+// candidate, an admissible upper bound on the probability that the
+// document contains all of grams (index.Index satisfies it). Bounds must
+// never under-estimate: bounds[i] ≥ P(some retained reading of ids[i]
+// contains every gram). The planner uses bounds opportunistically — a
+// plain PostingSource still plans, just without early-termination fuel.
+type BoundedPostingSource interface {
+	PostingSource
+	CandidatesWithBounds(grams []string) (ids []string, bounds []float64, ok bool)
 }
 
 // Plan is the pruning strategy extracted from a Query at a given gram
@@ -191,6 +272,25 @@ type planGrams struct {
 }
 
 func (n planGrams) candidates(src PostingSource) (*CandidateSet, bool) {
+	if bsrc, can := src.(BoundedPostingSource); can {
+		ids, bnds, ok := bsrc.CandidatesWithBounds(n.grams)
+		if !ok {
+			return nil, false
+		}
+		c := &CandidateSet{
+			ids:    make(map[string]struct{}, len(ids)),
+			bounds: make(map[string]float64, len(ids)),
+		}
+		for i, id := range ids {
+			c.ids[id] = struct{}{}
+			b := 1.0
+			if i < len(bnds) {
+				b = bnds[i]
+			}
+			c.bounds[id] = b
+		}
+		return c, true
+	}
 	ids, ok := src.Candidates(n.grams)
 	if !ok {
 		return nil, false
@@ -256,14 +356,25 @@ func (n planAnd) render(sb *strings.Builder) { renderPlanList(sb, "and", n) }
 type planOr []planNode
 
 func (n planOr) candidates(src PostingSource) (*CandidateSet, bool) {
-	acc := NewCandidateSet()
+	acc := &CandidateSet{ids: make(map[string]struct{}), bounds: make(map[string]float64)}
 	for _, kid := range n {
 		set, ok := kid.candidates(src)
 		if !ok {
 			return nil, false // one unprunable branch admits any document
 		}
+		// A disjunction's bound is the capped sum of its children's
+		// (union bound); max would under-estimate when branches overlap.
+		// Each id accumulates exactly once per child, so no per-id float
+		// result depends on the order the ids are visited in.
+		//lint:allow mapiter each id accumulates once per child; iteration order cannot change any per-id sum
 		for id := range set.ids { // union in place: one pass per child
 			acc.ids[id] = struct{}{}
+			acc.bounds[id] += set.Bound(id)
+		}
+	}
+	for id, b := range acc.bounds {
+		if b > 1 {
+			acc.bounds[id] = 1
 		}
 	}
 	return acc, true

@@ -17,6 +17,11 @@ const (
 	// DefaultMaxEnumerate bounds how many readings (matching or not) the
 	// best-first enumeration examines per document before giving up.
 	DefaultMaxEnumerate = 4096
+	// MaxContextRunes caps SnippetOptions.ContextRunes: larger requests
+	// are clamped, not rejected. One cap here keeps every surface — the
+	// library, the CLI -context flag, and the server's context_runes
+	// knob — agreeing on the widest context window a span may carry.
+	MaxContextRunes = 512
 )
 
 // Span is one occurrence of a query term inside a reading, in both byte
@@ -74,7 +79,8 @@ type SnippetOptions struct {
 	MaxEnumerate int
 	// ContextRunes, when positive, fills each Span.Context with the
 	// matched text plus up to ContextRunes runes of surrounding reading
-	// text on each side. Zero leaves Context empty.
+	// text on each side. Zero leaves Context empty; values above
+	// MaxContextRunes are clamped to it.
 	ContextRunes int
 }
 
@@ -84,6 +90,9 @@ func (o SnippetOptions) withDefaults() SnippetOptions {
 	}
 	if o.MaxEnumerate <= 0 {
 		o.MaxEnumerate = DefaultMaxEnumerate
+	}
+	if o.ContextRunes > MaxContextRunes {
+		o.ContextRunes = MaxContextRunes
 	}
 	return o
 }

@@ -560,7 +560,9 @@ type snippetsRequest struct {
 const (
 	maxSnippetReadings  = 64
 	maxSnippetEnumerate = 1 << 16
-	maxSnippetContext   = 512
+	// maxSnippetContext mirrors the library-wide cap so the server's
+	// reject threshold and the library's clamp threshold never drift.
+	maxSnippetContext = query.MaxContextRunes
 )
 
 type snippetsResponse struct {

@@ -42,6 +42,9 @@ func TestMain(m *testing.M) {
 	if benchDir != "" {
 		os.RemoveAll(benchDir)
 	}
+	if topkDir != "" {
+		os.RemoveAll(topkDir)
+	}
 	os.Exit(code)
 }
 
@@ -155,4 +158,177 @@ func BenchmarkFuzzySearchIndexed(b *testing.B) {
 // Levenshtein DFA.
 func BenchmarkFuzzySearchScan(b *testing.B) {
 	benchSearch(b, fuzzyBenchQuery, staccatodb.WithoutIndex())
+}
+
+// The top-k benchmark corpus plants a marker chunk in every document
+// whose alternatives tier the corpus into nested candidate sets of 10,
+// 100, 1000, and 10000 documents, at strictly decreasing probability by
+// document number. The index bounds therefore rank candidates perfectly,
+// which is the regime bound-driven early termination is built for: a
+// `-top 10` query should evaluate roughly the same handful of documents
+// whether the candidate set holds ten documents or ten thousand.
+// scripts/bench_topk.sh turns the sub-benchmarks into BENCH_topk.json and
+// gates on the latency staying near-flat across the three decades.
+const topkCorpusDocs = 10000
+
+var (
+	topkOnce sync.Once
+	topkDir  string
+	topkErr  error
+)
+
+// topkMarker is document i's marker text: every tier the document
+// belongs to, as space-delimited tokens so each tier contributes its own
+// grams.
+func topkMarker(i int) string {
+	m := " zqall"
+	if i < 1000 {
+		m += " zqm1000"
+	}
+	if i < 100 {
+		m += " zqc100"
+	}
+	if i < 10 {
+		m += " zqx10"
+	}
+	return m
+}
+
+// topkCorpus ingests the shared marker corpus once per test binary.
+func topkCorpus(b *testing.B) string {
+	b.Helper()
+	topkOnce.Do(func() {
+		topkDir, topkErr = os.MkdirTemp("", "staccatodb-topk-*")
+		if topkErr != nil {
+			return
+		}
+		ctx := context.Background()
+		var db *staccatodb.DB
+		db, topkErr = staccatodb.Open(topkDir, staccatodb.WithNoSync())
+		if topkErr != nil {
+			return
+		}
+		defer db.Close()
+		var batch []*staccato.Doc
+		i := 0
+		topkErr = testgen.EachDoc(topkCorpusDocs,
+			testgen.Config{Length: benchDocLen, Seed: 202}, benchChunks, benchK,
+			func(dc testgen.DocCase) error {
+				// Strictly decreasing marker probability by document number
+				// keeps the bound ranking total and deterministic.
+				p := 0.95 - 0.9*float64(i)/float64(topkCorpusDocs)
+				alts := []staccato.Alt{{Text: topkMarker(i), Prob: p}, {Text: "~", Prob: 1 - p}}
+				if alts[0].Prob < alts[1].Prob {
+					alts[0], alts[1] = alts[1], alts[0]
+				}
+				dc.Doc.Chunks = append(dc.Doc.Chunks, staccato.PathSet{Alts: alts, Retained: 1})
+				dc.Doc.Params.Chunks++
+				i++
+				batch = append(batch, dc.Doc)
+				if len(batch) >= 128 {
+					if err := db.Ingest(ctx, batch); err != nil {
+						return err
+					}
+					batch = batch[:0]
+				}
+				return nil
+			})
+		if topkErr == nil {
+			topkErr = db.Ingest(ctx, batch)
+		}
+	})
+	if topkErr != nil {
+		b.Fatal(topkErr)
+	}
+	return topkDir
+}
+
+// BenchmarkSearchTopK runs the same `-top 10` query against candidate
+// sets three decades apart. The candidates metric confirms the tier the
+// query selected; evaluated_docs and early_stopped expose how much of it
+// the bound-driven path actually touched.
+func BenchmarkSearchTopK(b *testing.B) {
+	dir := topkCorpus(b)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name, term string
+		want       int
+	}{
+		{"cand=10", "zqx10", 10},
+		{"cand=100", "zqc100", 100},
+		{"cand=1000", "zqm1000", 1000},
+		{"cand=10000", "zqall", 10000},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db, err := staccatodb.Open(dir, staccatodb.WithNoSync())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			q, err := query.Substring(tc.term)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lastStats query.SearchStats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, stats, err := db.Search(ctx, q, query.SearchOptions{TopN: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 10 || stats.Mode != query.ExecTopK {
+					b.Fatalf("got %d results in mode %q, want 10 in %q", len(res), stats.Mode, query.ExecTopK)
+				}
+				lastStats = stats
+			}
+			b.StopTimer()
+			cands := lastStats.CandidatesFetched + lastStats.BoundsSkipped
+			if cands < tc.want {
+				b.Fatalf("candidate set holds %d docs, want at least %d", cands, tc.want)
+			}
+			b.ReportMetric(float64(cands), "candidates")
+			b.ReportMetric(float64(lastStats.DocsScanned), "evaluated_docs")
+			b.ReportMetric(float64(lastStats.BoundsSkipped), "skipped_docs")
+			early := 0.0
+			if lastStats.EarlyStopped {
+				early = 1
+			}
+			b.ReportMetric(early, "early_stopped")
+		})
+	}
+}
+
+// BenchmarkSearchTopKExhaustive is the control: the same widest query
+// (every document a candidate) with no result limit, so every candidate
+// is fetched and evaluated. The gap between this and
+// BenchmarkSearchTopK/cand=10000 is what bound-driven early termination
+// buys; scripts/bench_topk.sh gates on it.
+func BenchmarkSearchTopKExhaustive(b *testing.B) {
+	dir := topkCorpus(b)
+	ctx := context.Background()
+	db, err := staccatodb.Open(dir, staccatodb.WithNoSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	q, err := query.Substring("zqall")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastStats query.SearchStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, stats, err := db.Search(ctx, q, query.SearchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != topkCorpusDocs {
+			b.Fatalf("exhaustive search matched %d docs, want %d", len(res), topkCorpusDocs)
+		}
+		lastStats = stats
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lastStats.DocsScanned), "evaluated_docs")
 }

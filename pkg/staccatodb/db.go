@@ -392,11 +392,17 @@ func (db *DB) Get(ctx context.Context, id string) (*staccato.Doc, error) {
 // probability, ties by ascending DocID) plus the execution stats —
 // the mode taken and how many documents the index pruned versus how
 // many the DP evaluated. When the planner produces a candidate set,
-// Search executes candidate-only (query.ExecCandidateOnly): only the
-// candidates are fetched and evaluated, so a selective query's cost
-// scales with its candidate count, not the corpus size. Otherwise it
-// falls back to the full scan. Results are byte-identical across both
-// modes and whether the index is enabled, disabled, or absent.
+// Search executes candidate-restricted: only the candidates are fetched
+// and evaluated, so a selective query's cost scales with its candidate
+// count, not the corpus size. With opts.TopN > 0 and no rescorer, the
+// restricted run takes the bound-driven top-k path
+// (query.Engine.SearchTopK, query.ExecTopK): candidates are processed
+// best-bound-first and the run stops once the running k-th probability
+// beats every remaining bound. A rescorer invalidates the stored bounds
+// (it moves probability mass the index never saw), so rescored searches
+// stay on query.ExecCandidateOnly. Without a candidate set Search falls
+// back to the full scan. Results are byte-identical across every mode
+// and whether the index is enabled, disabled, or absent.
 // opts.Candidates and opts.Stats are managed by the DB and ignored if
 // set by the caller.
 func (db *DB) Search(ctx context.Context, q *query.Query, opts query.SearchOptions) ([]query.Result, query.SearchStats, error) {
@@ -411,18 +417,30 @@ func (db *DB) Search(ctx context.Context, q *query.Query, opts query.SearchOptio
 		res, err := db.eng.Search(ctx, q, opts)
 		return res, stats, err
 	}
-	res, err := db.eng.SearchCandidates(ctx, q, cand, opts)
+	var res []query.Result
+	var err error
+	if opts.TopN > 0 && opts.Rescore == nil {
+		res, err = db.eng.SearchTopK(ctx, q, cand, opts)
+	} else {
+		res, err = db.eng.SearchCandidates(ctx, q, cand, opts)
+	}
 	if err != nil {
 		return nil, stats, err
 	}
 	// The engine never observed the corpus — that is the mode's point —
-	// so the corpus-level counters come from the store's live count.
-	// Concurrent writes can skew the arithmetic; clamp rather than
-	// report a negative prune count.
+	// so the corpus-level counters derive from the store's live count and
+	// the candidate set itself. A candidate deleted between planning and
+	// fetching is no longer live, so the live candidates are the set size
+	// minus the deletions the engine observed; every other live document
+	// was pruned. This makes DocsTotal == DocsScanned + DocsPruned +
+	// BoundsSkipped hold by construction (BoundsSkipped is zero outside
+	// top-k), deletions included — deliberately unclamped, so an
+	// accounting inconsistency shows up as a negative count instead of
+	// being silently absorbed. Writes racing the search can still skew
+	// docCount against the planning-time snapshot.
 	stats.DocsTotal = db.docCount()
-	if pruned := stats.DocsTotal - stats.DocsScanned; pruned > 0 {
-		stats.DocsPruned = pruned
-	}
+	live := cand.Len() - stats.CandidatesDeleted
+	stats.DocsPruned = stats.DocsTotal - live
 	return res, stats, nil
 }
 
@@ -529,6 +547,10 @@ func (db *DB) Explain(q *query.Query) string {
 	if cand := plan.Candidates(ix); cand != nil {
 		out += fmt.Sprintf("\ncandidates: %d of %d docs\nmode: %s (Search fetches only the candidates)",
 			cand.Len(), ix.Len(), query.ExecCandidateOnly)
+		if cand.Bounded() {
+			out += fmt.Sprintf("\ntop-k: with a result limit, mode %s processes candidates best-bound-first and reports early_stopped/bounds_skipped",
+				query.ExecTopK)
+		}
 	} else {
 		out += fmt.Sprintf("\ncandidates: all (plan cannot prune)\nmode: %s", query.ExecScan)
 	}

@@ -73,13 +73,17 @@ func TestSearchModesByteIdenticalProperty(t *testing.T) {
 				}
 				if stats.Mode == query.ExecCandidateOnly {
 					candidateRuns++
-					if stats.DocsScanned+stats.DocsPruned != stats.DocsTotal {
+					if stats.DocsScanned+stats.DocsPruned+stats.BoundsSkipped != stats.DocsTotal {
 						t.Fatalf("%s workers=%d query %d: incoherent candidate-only stats %+v",
 							phase, workers, qi, stats)
 					}
-					if stats.CandidatesFetched != stats.DocsScanned {
-						t.Fatalf("%s workers=%d query %d: fetched %d != scanned %d (no concurrent deletes)",
-							phase, workers, qi, stats.CandidatesFetched, stats.DocsScanned)
+					if stats.CandidatesFetched != stats.DocsScanned+stats.CandidatesDeleted {
+						t.Fatalf("%s workers=%d query %d: fetched %d != scanned %d + deleted %d",
+							phase, workers, qi, stats.CandidatesFetched, stats.DocsScanned, stats.CandidatesDeleted)
+					}
+					if stats.CandidatesDeleted != 0 || stats.BoundsSkipped != 0 || stats.EarlyStopped {
+						t.Fatalf("%s workers=%d query %d: top-k counters leaked into candidate-only stats %+v",
+							phase, workers, qi, stats)
 					}
 				} else if stats.Mode != query.ExecScan {
 					t.Fatalf("%s workers=%d query %d: unexpected mode %q", phase, workers, qi, stats.Mode)

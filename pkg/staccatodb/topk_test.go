@@ -1,0 +1,266 @@
+package staccatodb_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo/staccato-go/pkg/index"
+	"github.com/paper-repo/staccato-go/pkg/query"
+	"github.com/paper-repo/staccato-go/pkg/staccato"
+	"github.com/paper-repo/staccato-go/pkg/staccatodb"
+)
+
+// TestSearchTopKByteIdenticalProperty is the equivalence property for the
+// bound-driven path: for random corpora × random boolean/fuzzy queries ×
+// TopN ∈ {1, 10, 100} × workers ∈ {1, 2, 8}, Search with a result limit
+// must return exactly the first TopN entries of the exhaustive unlimited
+// ranking — byte identical, whatever the engine pruned or skipped.
+// Together with TestSearchModesByteIdenticalProperty (candidate-only ==
+// scan) this pins all three execution modes to one answer. Stats must be
+// deterministic across worker counts and obey the accounting invariants.
+func TestSearchTopKByteIdenticalProperty(t *testing.T) {
+	ctx := context.Background()
+	cases := corpus(t, 50, 83)
+	truths := make([]string, len(cases))
+	for i, c := range cases {
+		truths[i] = c.Truth
+	}
+	queries := randomQueries(truths, 101, 20)
+
+	topkRuns, earlyStops := 0, 0
+	type key struct {
+		qi, topN int
+		minProb  float64
+	}
+	baseline := map[key]query.SearchStats{}
+	for _, workers := range []int{1, 2, 8} {
+		db, err := staccatodb.OpenMem(staccatodb.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := db.Ingest(ctx, docsOf(cases)); err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			full, _, err := db.Search(ctx, q, query.SearchOptions{})
+			if err != nil {
+				t.Fatalf("query %d workers %d unlimited: %v", qi, workers, err)
+			}
+			for _, sub := range []struct {
+				topN    int
+				minProb float64
+			}{{1, 0}, {10, 0}, {100, 0}, {10, 0.25}} {
+				opts := query.SearchOptions{TopN: sub.topN, MinProb: sub.minProb}
+				got, stats, err := db.Search(ctx, q, opts)
+				if err != nil {
+					t.Fatalf("query %d workers %d top %d: %v", qi, workers, sub.topN, err)
+				}
+				want := full
+				if sub.minProb > 0 {
+					want = nil
+					for _, r := range full {
+						if r.Prob >= sub.minProb {
+							want = append(want, r)
+						}
+					}
+				}
+				if len(want) > sub.topN {
+					want = want[:sub.topN]
+				}
+				if len(got) == 0 && len(want) == 0 {
+					// DeepEqual treats nil and empty as different; both mean
+					// "no results".
+				} else if !reflect.DeepEqual(got, want) {
+					t.Fatalf("query %d (%s) workers %d top %d min %.2f: results diverge\n got  %+v\n want %+v",
+						qi, q, workers, sub.topN, sub.minProb, got, want)
+				}
+				if stats.Mode == query.ExecTopK {
+					topkRuns++
+				}
+				if stats.EarlyStopped {
+					earlyStops++
+				}
+				if stats.DocsTotal != stats.DocsScanned+stats.DocsPruned+stats.BoundsSkipped {
+					t.Fatalf("query %d top %d: DocsTotal %d != scanned %d + pruned %d + skipped %d",
+						qi, sub.topN, stats.DocsTotal, stats.DocsScanned, stats.DocsPruned, stats.BoundsSkipped)
+				}
+				if stats.Mode != query.ExecScan && stats.CandidatesFetched != stats.DocsScanned+stats.CandidatesDeleted {
+					t.Fatalf("query %d top %d: CandidatesFetched %d != scanned %d + deleted %d",
+						qi, sub.topN, stats.CandidatesFetched, stats.DocsScanned, stats.CandidatesDeleted)
+				}
+				k := key{qi, sub.topN, sub.minProb}
+				if workers == 1 {
+					baseline[k] = stats
+				} else if !reflect.DeepEqual(stats, baseline[k]) {
+					t.Fatalf("query %d top %d min %.2f: stats differ across worker counts\n w=1 %+v\n w=%d %+v",
+						qi, sub.topN, sub.minProb, baseline[k], workers, stats)
+				}
+			}
+		}
+	}
+	if topkRuns == 0 {
+		t.Fatal("vacuous property: no run took the top-k path")
+	}
+	t.Logf("top-k runs: %d, early stops: %d", topkRuns, earlyStops)
+}
+
+// markerCorpus builds n hand-crafted docs whose single uncertain chunk
+// carries a shared marker term at strictly decreasing probability, so the
+// index bounds rank the docs perfectly and an early stop is guaranteed on
+// any corpus larger than the engine's first evaluation round.
+func markerCorpus(n int) []*staccato.Doc {
+	docs := make([]*staccato.Doc, n)
+	for i := range docs {
+		p := 0.9 - 0.8*float64(i)/float64(n)
+		alts := []staccato.Alt{{Text: " zzmarker ", Prob: p}, {Text: "~", Prob: 1 - p}}
+		if alts[0].Prob < alts[1].Prob {
+			alts[0], alts[1] = alts[1], alts[0]
+		}
+		docs[i] = &staccato.Doc{
+			ID:     fmt.Sprintf("m-%03d", i),
+			Params: staccato.Params{Chunks: 1, K: 2},
+			Chunks: []staccato.PathSet{{Alts: alts, Retained: 1}},
+		}
+	}
+	return docs
+}
+
+// TestSearchTopKEarlyStopsDeterministically pins the early-termination
+// behaviour itself, which the random-corpus property cannot guarantee to
+// exercise: on a corpus whose bounds rank the answer perfectly, a small
+// TopN must stop after the first round, skip the tail, and still return
+// exactly the truncated exhaustive ranking — with identical stats at
+// every worker count.
+func TestSearchTopKEarlyStopsDeterministically(t *testing.T) {
+	ctx := context.Background()
+	const n = 300
+	q := mustQ(query.Substring("zzmarker"))
+
+	var full []query.Result
+	var first query.SearchStats
+	for _, workers := range []int{1, 2, 8} {
+		db, err := staccatodb.OpenMem(staccatodb.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := db.Ingest(ctx, markerCorpus(n)); err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			full, _, err = db.Search(ctx, q, query.SearchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(full) != n {
+				t.Fatalf("unlimited search matched %d docs, want %d", len(full), n)
+			}
+		}
+		got, stats, err := db.Search(ctx, q, query.SearchOptions{TopN: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, full[:10]) {
+			t.Fatalf("workers %d: top-10 diverges from truncated exhaustive ranking\n got  %+v\n want %+v",
+				workers, got, full[:10])
+		}
+		if stats.Mode != query.ExecTopK || !stats.EarlyStopped || stats.BoundsSkipped == 0 {
+			t.Fatalf("workers %d: expected an early-stopped top-k run, got %+v", workers, stats)
+		}
+		if stats.DocsScanned >= n/2 {
+			t.Fatalf("workers %d: early stop still evaluated %d of %d docs", workers, stats.DocsScanned, n)
+		}
+		if stats.DocsTotal != stats.DocsScanned+stats.DocsPruned+stats.BoundsSkipped {
+			t.Fatalf("workers %d: DocsTotal %d != scanned %d + pruned %d + skipped %d",
+				workers, stats.DocsTotal, stats.DocsScanned, stats.DocsPruned, stats.BoundsSkipped)
+		}
+		if workers == 1 {
+			first = stats
+		} else if !reflect.DeepEqual(stats, first) {
+			t.Fatalf("stats differ across worker counts:\n w=1 %+v\n w=%d %+v", first, workers, stats)
+		}
+	}
+
+	// The docs ranked by bound are also ranked by true probability here,
+	// so the winners must be the lowest-numbered marker docs in order.
+	for i, r := range full[:10] {
+		if want := fmt.Sprintf("m-%03d", i); r.DocID != want {
+			t.Fatalf("rank %d: DocID = %s, want %s", i, r.DocID, want)
+		}
+	}
+}
+
+// TestLegacyIndexFileRebuildsTransparently pins the v1 → v2 migration
+// story: a store directory holding a well-formed v1 index log (valid
+// frames, old magic) must open without error, rebuild the index from a
+// scan, persist it in the v2 format, and answer top-k searches byte
+// identically to the pre-downgrade database.
+func TestLegacyIndexFileRebuildsTransparently(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cases := corpus(t, 30, 7)
+
+	db, err := staccatodb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest(ctx, docsOf(cases)); err != nil {
+		t.Fatal(err)
+	}
+	q := mustQ(query.Substring(cases[11].Doc.MAP()[5:12]))
+	wantRes, wantStats, err := db.Search(ctx, q, query.SearchOptions{TopN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite INDEX with a well-formed v1 log: correctly framed header
+	// carrying the old magic and the same gram size.
+	payload := append([]byte("staccato-index v1"), binary.AppendUvarint(nil, 3)...)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	idxPath := filepath.Join(dir, index.FileName)
+	if err := os.WriteFile(idxPath, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := index.Load(idxPath, 3); !errors.Is(err, index.ErrMismatch) {
+		t.Fatalf("index.Load on a v1 file: err = %v, want ErrMismatch", err)
+	}
+
+	db2, err := staccatodb.Open(dir)
+	if err != nil {
+		t.Fatalf("Open over a v1 index log: %v", err)
+	}
+	defer db2.Close()
+	st := db2.Stats()
+	if !st.IndexEnabled || !st.IndexPersisted || st.IndexDocs != len(cases) {
+		t.Fatalf("rebuilt stats = %+v, want persisted index over %d docs", st, len(cases))
+	}
+	gotRes, gotStats, err := db2.Search(ctx, q, query.SearchOptions{TopN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatalf("post-rebuild results diverge:\n got  %+v\n want %+v", gotRes, wantRes)
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatalf("post-rebuild stats diverge:\n got  %+v\n want %+v", gotStats, wantStats)
+	}
+
+	// The rebuild must have left a loadable v2 log behind.
+	if _, _, err := index.Load(idxPath, 3); err != nil {
+		t.Fatalf("index.Load after the rebuild: %v", err)
+	}
+}

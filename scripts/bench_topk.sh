@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# bench_topk.sh — run the ranked top-k benchmarks and emit
+# BENCH_topk.json: the same `-top 10` query answered over candidate sets
+# of 10, 100, 1000, and 10000 documents, plus the exhaustive
+# fetch-and-evaluate control at 10000.
+#
+# The gates pin the tentpole claims of bound-driven early termination:
+#   * the engine early-stops whenever the candidate set outruns the
+#     first evaluation round (cand >= 100 here);
+#   * evaluated documents stay flat from 100 to 10000 candidates — the
+#     eval work is bounded by the round schedule, not the corpus;
+#   * top-k latency at 10000 candidates beats the exhaustive control by
+#     at least 3x;
+#   * latency grows by at most 250x while the candidate set grows 1000x —
+#     the residual growth is candidate-set construction, which is two
+#     orders of magnitude cheaper per document than fetch-and-evaluate.
+#
+# Usage: scripts/bench_topk.sh [topk.json]
+#   BENCHTIME=20x scripts/bench_topk.sh   # override iteration count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_topk.json}"
+benchtime="${BENCHTIME:-10x}"
+
+raw=$(go test ./pkg/staccatodb -run '^$' -bench '^BenchmarkSearchTopK(Exhaustive)?$' \
+	-benchtime "$benchtime" -count 1)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out_file" '
+	# BenchmarkSearchTopK/cand=100-8  10  249168 ns/op ... 100.0 candidates  1.000 early_stopped  64.00 evaluated_docs ...
+	function metric(name,   i) {
+		for (i = 3; i < NF; i++) {
+			if ($(i + 1) == name) return $i
+		}
+		return ""
+	}
+	/^BenchmarkSearchTopK\/cand=10[^0-9]/    { ns[10] = $3;    ev[10] = metric("evaluated_docs");    es[10] = metric("early_stopped") }
+	/^BenchmarkSearchTopK\/cand=100[^0-9]/   { ns[100] = $3;   ev[100] = metric("evaluated_docs");   es[100] = metric("early_stopped") }
+	/^BenchmarkSearchTopK\/cand=1000[^0-9]/  { ns[1000] = $3;  ev[1000] = metric("evaluated_docs");  es[1000] = metric("early_stopped") }
+	/^BenchmarkSearchTopK\/cand=10000[^0-9]/ { ns[10000] = $3; ev[10000] = metric("evaluated_docs"); es[10000] = metric("early_stopped") }
+	/^BenchmarkSearchTopKExhaustive/    { full_ns = $3;   full_ev = metric("evaluated_docs") }
+	END {
+		for (c in ns) {
+			if (ns[c] == "" || ev[c] == "" || es[c] == "") {
+				print "bench_topk.sh: missing metrics for cand=" c > "/dev/stderr"
+				exit 1
+			}
+		}
+		if (full_ns == "" || full_ev == "") {
+			print "bench_topk.sh: missing exhaustive control benchmark" > "/dev/stderr"
+			exit 1
+		}
+		if (es[100] + 0 != 1 || es[1000] + 0 != 1 || es[10000] + 0 != 1) {
+			print "bench_topk.sh: top-k did not early-stop on a perfectly ranked corpus" > "/dev/stderr"
+			exit 1
+		}
+		if (ev[10000] + 0 > 2 * (ev[100] + 0)) {
+			printf "bench_topk.sh: evaluated docs grew %s -> %s from 100 to 10000 candidates; eval work must stay flat\n", \
+				ev[100], ev[10000] > "/dev/stderr"
+			exit 1
+		}
+		if (full_ns + 0 < 3 * (ns[10000] + 0)) {
+			printf "bench_topk.sh: top-k at 10000 candidates (%s ns) is not 3x faster than exhaustive (%s ns)\n", \
+				ns[10000], full_ns > "/dev/stderr"
+			exit 1
+		}
+		if (ns[10000] + 0 > 250 * (ns[10] + 0)) {
+			printf "bench_topk.sh: latency grew %.0fx from 10 to 10000 candidates (limit 250x)\n", \
+				ns[10000] / ns[10] > "/dev/stderr"
+			exit 1
+		}
+		printf "{\n" > out
+		printf "  \"benchmark\": \"SearchTopK\",\n" > out
+		printf "  \"top_n\": 10,\n" > out
+		printf "  \"corpus_docs\": 10000,\n" > out
+		printf "  \"tiers\": [\n" > out
+		n = split("10 100 1000 10000", order, " ")
+		for (i = 1; i <= n; i++) {
+			c = order[i]
+			printf "    {\"candidates\": %d, \"ns_per_op\": %s, \"evaluated_docs\": %d, \"early_stopped\": %s}%s\n", \
+				c, ns[c], ev[c], (es[c] + 0 == 1 ? "true" : "false"), (i < n ? "," : "") > out
+		}
+		printf "  ],\n" > out
+		printf "  \"exhaustive_ns\": %s,\n", full_ns > out
+		printf "  \"exhaustive_evaluated_docs\": %d,\n", full_ev > out
+		printf "  \"topk_speedup_at_10000\": %.2f,\n", full_ns / ns[10000] > out
+		printf "  \"latency_growth_10_to_10000\": %.2f\n", ns[10000] / ns[10] > out
+		printf "}\n" > out
+	}
+'
+echo "wrote $out_file:"
+cat "$out_file"
